@@ -1,0 +1,37 @@
+// A4 — Sec. V-C: consolidation headroom in relaxed-QoS public clouds.
+//
+// When QoS is met well below the server-efficiency optimum, running at
+// the optimum leaves throughput headroom that an oversubscribed public
+// cloud can fill with co-located work. Reports the QoS floor, the chosen
+// efficiency optimum, and the headroom factor per workload.
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Ablation — consolidation headroom under relaxed QoS",
+                      "Pahlevan et al., DATE'16, Sec. V-C (co-allocation discussion)");
+
+  const auto platform = bench::default_platform();
+  const auto grid = bench::paper_frequency_grid(8);
+  dse::ExplorationDriver driver{platform, bench::bench_sim_config()};
+
+  TextTable t({"workload", "QoS floor (MHz)", "chosen f (GHz)", "server eff (GUIPS/W)",
+               "norm p99 @chosen", "headroom"});
+  const auto targets = qos::QosTarget::scale_out_suite();
+  const auto profiles = workload::WorkloadProfile::scale_out_suite();
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    const auto sweep = driver.sweep(profiles[w], grid);
+    const auto choice = dse::choose_operating_point(sweep, targets[w]);
+    const double headroom = dse::consolidation_headroom(sweep, targets[w]);
+    t.add_row({profiles[w].name, TextTable::num(in_mhz(choice.qos_floor), 0),
+               TextTable::num(in_ghz(choice.chosen_frequency), 2),
+               TextTable::num(choice.efficiency / 1e9, 3),
+               TextTable::num(choice.normalized_p99, 3),
+               TextTable::num(headroom, 2) + "x"});
+  }
+  bench::print_table(t, "ablation_consolidation");
+  std::cout << "(headroom = spare throughput at the efficiency optimum relative to the\n"
+            << " QoS floor: capacity available for co-scheduled work, Sec. V-C)\n";
+  return 0;
+}

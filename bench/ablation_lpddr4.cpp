@@ -1,0 +1,54 @@
+// A1 — Sec. V-C ablation: LPDDR4 (mobile DRAM) in place of DDR4.
+//
+// The paper argues that as the SoC's power shrinks at near-threshold
+// operation, DDR4 background power dominates total server power, and that
+// mobile DRAM (LPDDR4, after Malladi et al.) would raise the server's
+// energy proportionality. Expectation: LPDDR4 raises server efficiency at
+// every frequency, most strongly at low f, and moves the server-scope
+// optimum toward lower frequency.
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Ablation — LPDDR4 vs DDR4 server energy proportionality",
+                      "Pahlevan et al., DATE'16, Sec. V-C (memory discussion)");
+
+  const auto ddr4_platform = bench::default_platform();
+  power::DramPowerParams lp;
+  lp.energy = power::DramEnergyTable::lpddr4_1600();
+  const auto lpddr4_platform = ddr4_platform.with_dram(lp);
+
+  const auto grid = bench::paper_frequency_grid(8);
+  const auto profile = workload::WorkloadProfile::data_serving();
+
+  dse::ExplorationDriver ddr_driver{ddr4_platform, bench::bench_sim_config()};
+  dse::ExplorationDriver lp_driver{lpddr4_platform, bench::bench_sim_config()};
+  const auto ddr = ddr_driver.sweep(profile, grid);
+  const auto lpd = lp_driver.sweep(profile, grid);
+
+  TextTable t({"f (GHz)", "DDR4 server eff", "LPDDR4 server eff", "gain", "DDR4 mem W",
+               "LPDDR4 mem W"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t.add_row({TextTable::num(in_ghz(grid[i]), 2),
+               TextTable::num(ddr.efficiency(i, dse::Scope::kServer) / 1e9, 3),
+               TextTable::num(lpd.efficiency(i, dse::Scope::kServer) / 1e9, 3),
+               TextTable::num(lpd.efficiency(i, dse::Scope::kServer) /
+                                  ddr.efficiency(i, dse::Scope::kServer), 2),
+               TextTable::num(ddr.points[i].power.memory().value(), 2),
+               TextTable::num(lpd.points[i].power.memory().value(), 2)});
+  }
+  bench::print_table(t, "ablation_lpddr4");
+
+  std::cout << "Server-scope optimum: DDR4 "
+            << TextTable::num(in_ghz(ddr.optimal_frequency(dse::Scope::kServer)), 2)
+            << " GHz -> LPDDR4 "
+            << TextTable::num(in_ghz(lpd.optimal_frequency(dse::Scope::kServer)), 2)
+            << " GHz (expected: moves left)\n";
+  std::cout << "Energy proportionality (server scope): DDR4 "
+            << TextTable::num(dse::energy_proportionality(ddr, dse::Scope::kServer), 3)
+            << " -> LPDDR4 "
+            << TextTable::num(dse::energy_proportionality(lpd, dse::Scope::kServer), 3)
+            << " (expected: rises)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared configuration for the figure/table regeneration benches.
+//
+// Every bench binary reproduces one artifact of the paper's evaluation
+// (see DESIGN.md experiment index) and prints the same series the paper
+// plots, as an ASCII table plus a CSV block for replotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "ntserv/ntserv.hpp"
+
+namespace ntserv::bench {
+
+/// Platform of the paper's Sec. IV setup: 28nm FD-SOI, 9x4 cores, 4MB LLC
+/// per cluster, 4x DDR4-1600 channels.
+inline power::ServerPowerModel default_platform() {
+  return power::ServerPowerModel{tech::TechnologyModel{tech::TechnologyParams::fdsoi28()},
+                                 power::ChipConfig{}};
+}
+
+/// Simulation configuration tuned for bench turnaround: SMARTS sampling at
+/// 95% confidence with slightly smaller windows than the paper's (the
+/// sampling tests verify convergence behaviour separately).
+inline sim::ServerSimConfig bench_sim_config(std::uint64_t seed = 1) {
+  sim::ServerSimConfig cfg;
+  cfg.seed = seed;
+  cfg.smarts.warm_instructions = 600'000;
+  cfg.smarts.warmup = 20'000;
+  cfg.smarts.measure = 30'000;
+  cfg.smarts.min_samples = 3;
+  cfg.smarts.max_samples = 8;
+  return cfg;
+}
+
+/// The paper's Fig. 2-4 frequency axis: 0.2-2.0 GHz.
+inline std::vector<Hertz> paper_frequency_grid(int points = 10) {
+  return sim::frequency_grid(ghz(0.2), ghz(2.0), points);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+inline void print_table(const TextTable& t, const std::string& csv_tag) {
+  t.print(std::cout);
+  std::cout << "\nCSV (" << csv_tag << "):\n";
+  t.write_csv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace ntserv::bench

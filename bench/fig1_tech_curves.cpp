@@ -1,0 +1,58 @@
+// E1 — Fig. 1: Vdd(f) and chip power(f) for 28nm bulk, FD-SOI and
+// FD-SOI+FBB across the 0-3.5 GHz frequency range.
+//
+// Expected shape (paper Sec. II-C1): at any frequency the supply ordering
+// is bulk > FD-SOI > FD-SOI+FBB and the power ordering likewise; the gap
+// grows as the supply drops (maximum benefit in the near-threshold
+// region); bulk cannot operate at 0.5 V while FD-SOI reaches ~100 MHz and
+// FD-SOI+FBB exceeds 500 MHz.
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Fig. 1 — A57 voltage & power model: Bulk / FD-SOI / FD-SOI+FBB",
+                      "Pahlevan et al., DATE'16, Figure 1");
+
+  const tech::TechnologyModel bulk{tech::TechnologyParams::bulk28()};
+  const tech::TechnologyModel soi{tech::TechnologyParams::fdsoi28()};
+  const tech::TechnologyModel fbb{tech::TechnologyParams::fdsoi28_fbb()};
+  const power::ChipConfig chip;
+  const double n = chip.total_cores();
+
+  // The FBB series applies the *energy-optimal* forward bias per frequency
+  // (paper Sec. II-A item 1: "operate at the best energy efficiency point
+  // for a given performance target") — at low frequency the optimum is
+  // little or no bias (leakage would dominate), at high frequency a strong
+  // bias lowers the required Vdd.
+  TextTable t({"f (MHz)", "Vdd bulk", "Vdd FD-SOI", "Vdd FBB", "Vbb*", "P bulk (W)",
+               "P FD-SOI (W)", "P FBB (W)"});
+  for (double mhz_pt : {100.0, 250.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 2500.0,
+                        3000.0, 3500.0}) {
+    const Hertz f = mhz(mhz_pt);
+    auto cell = [&](const tech::TechnologyModel& m, bool voltage) -> std::string {
+      if (!m.feasible(f)) return "-";
+      if (voltage) return TextTable::num(m.voltage_for(f).value(), 3);
+      return TextTable::num(n * m.core_power(f).value(), 1);
+    };
+    std::string vdd_fbb = "-", vbb = "-", p_fbb = "-";
+    if (fbb.feasible(f)) {
+      const auto best = tech::optimal_forward_bias(soi, f);
+      vdd_fbb = TextTable::num(best.vdd.value(), 3);
+      vbb = TextTable::num(best.body_bias.value(), 2);
+      p_fbb = TextTable::num(n * best.power.value(), 1);
+    }
+    t.add_row({TextTable::num(mhz_pt, 0), cell(bulk, true), cell(soi, true), vdd_fbb, vbb,
+               cell(bulk, false), cell(soi, false), p_fbb});
+  }
+  bench::print_table(t, "fig1");
+
+  std::cout << "Anchor checks (paper Sec. II):\n"
+            << "  f @ 0.5 V      : bulk " << in_mhz(bulk.frequency_at(volts(0.5)))
+            << " MHz, FD-SOI " << in_mhz(soi.frequency_at(volts(0.5))) << " MHz, FBB "
+            << in_mhz(fbb.frequency_at(volts(0.5))) << " MHz\n"
+            << "  max frequency  : bulk " << in_ghz(bulk.max_frequency()) << " GHz, FD-SOI "
+            << in_ghz(soi.max_frequency()) << " GHz, FBB " << in_ghz(fbb.max_frequency())
+            << " GHz\n";
+  return 0;
+}

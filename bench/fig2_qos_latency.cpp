@@ -1,0 +1,73 @@
+// E3/E6 — Fig. 2: 99th-percentile latency normalized to each scale-out
+// application's QoS limit versus core frequency (0.2-2 GHz), plus the
+// Sec. V-A virtualized-application degradation analysis.
+//
+// Expected shape: all four applications remain under QoS (normalized
+// latency <= 1) down to 200-500 MHz; VM degradation stays <= 4x down to
+// ~500 MHz and <= 2x down to ~1 GHz.
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Fig. 2 — normalized 99th-pct latency vs core frequency",
+                      "Pahlevan et al., DATE'16, Figure 2 & Sec. V-A");
+
+  const auto platform = bench::default_platform();
+  const auto grid = bench::paper_frequency_grid();
+  dse::ExplorationDriver driver{platform, bench::bench_sim_config()};
+
+  TextTable t({"f (GHz)", "Data Serving", "Web Search", "Web Serving", "Media Streaming"});
+  std::vector<dse::SweepResult> sweeps;
+  std::vector<qos::QosTarget> targets = qos::QosTarget::scale_out_suite();
+  for (const auto& profile : workload::WorkloadProfile::scale_out_suite()) {
+    sweeps.push_back(driver.sweep(profile, grid));
+  }
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row{TextTable::num(in_ghz(grid[i]), 2)};
+    for (std::size_t w = 0; w < sweeps.size(); ++w) {
+      const double norm = qos::normalized_latency(targets[w], sweeps[w].points[i].uips,
+                                                  sweeps[w].baseline_uips());
+      row.push_back(TextTable::num(norm, 3));
+    }
+    t.add_row(row);
+  }
+  bench::print_table(t, "fig2");
+
+  std::cout << "QoS frequency floors (normalized latency crosses 1.0):\n";
+  for (std::size_t w = 0; w < sweeps.size(); ++w) {
+    const Hertz floor =
+        qos::frequency_floor(targets[w], sweeps[w].uips_samples(), sweeps[w].baseline_uips());
+    std::cout << "  " << targets[w].workload << ": " << TextTable::num(in_mhz(floor), 0)
+              << " MHz (paper band: 200-500 MHz)\n";
+  }
+
+  std::cout << "\nVirtualized applications — batch degradation vs 2 GHz baseline:\n";
+  TextTable v({"f (GHz)", "VMs low-mem degr.", "VMs high-mem degr."});
+  std::vector<dse::SweepResult> vm_sweeps;
+  for (const auto& profile : workload::WorkloadProfile::vm_suite()) {
+    vm_sweeps.push_back(driver.sweep(profile, grid));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    v.add_row({TextTable::num(in_ghz(grid[i]), 2),
+               TextTable::num(qos::batch_degradation(vm_sweeps[0].points[i].uips,
+                                                     vm_sweeps[0].baseline_uips()), 2),
+               TextTable::num(qos::batch_degradation(vm_sweeps[1].points[i].uips,
+                                                     vm_sweeps[1].baseline_uips()), 2)});
+  }
+  bench::print_table(v, "fig2_vm_degradation");
+
+  for (std::size_t w = 0; w < vm_sweeps.size(); ++w) {
+    const auto samples = vm_sweeps[w].uips_samples();
+    const double base = vm_sweeps[w].baseline_uips();
+    std::cout << "  " << vm_sweeps[w].workload << ": f(degr<=4x) = "
+              << TextTable::num(
+                     in_mhz(qos::degradation_floor(samples, base, qos::kMaxDegradationBound)), 0)
+              << " MHz (paper ~500), f(degr<=2x) = "
+              << TextTable::num(
+                     in_mhz(qos::degradation_floor(samples, base, qos::kMinDegradationBound)), 0)
+              << " MHz (paper ~1000)\n";
+  }
+  return 0;
+}

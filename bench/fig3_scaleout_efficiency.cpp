@@ -1,0 +1,43 @@
+// E4 — Fig. 3: UIPS/Watt of (a) the cores, (b) the SoC and (c) the whole
+// server versus core frequency for the four scale-out applications.
+//
+// Expected shape: cores-only efficiency decreases monotonically with f
+// (peak at the lowest functional frequency — the NTC argument); adding
+// the constant-power uncore moves the optimum to ~1 GHz; adding DRAM
+// background power moves it further right (~1.2 GHz).
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Fig. 3 — efficiency (UIPS/W) of cores / SoC / server, scale-out apps",
+                      "Pahlevan et al., DATE'16, Figure 3");
+
+  const auto platform = bench::default_platform();
+  const auto grid = bench::paper_frequency_grid();
+  dse::ExplorationDriver driver{platform, bench::bench_sim_config()};
+
+  std::vector<dse::SweepResult> sweeps;
+  for (const auto& profile : workload::WorkloadProfile::scale_out_suite()) {
+    sweeps.push_back(driver.sweep(profile, grid));
+  }
+
+  for (dse::Scope scope : {dse::Scope::kCores, dse::Scope::kSoc, dse::Scope::kServer}) {
+    std::cout << "--- Fig. 3" << (scope == dse::Scope::kCores ? 'a'
+                                  : scope == dse::Scope::kSoc ? 'b' : 'c')
+              << ": " << dse::to_string(scope) << " efficiency (GUIPS/W) ---\n";
+    TextTable t({"f (GHz)", "Data Serving", "Web Search", "Web Serving", "Media Streaming"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::vector<std::string> row{TextTable::num(in_ghz(grid[i]), 2)};
+      for (auto& s : sweeps) row.push_back(TextTable::num(s.efficiency(i, scope) / 1e9, 3));
+      t.add_row(row);
+    }
+    bench::print_table(t, std::string("fig3_") + dse::to_string(scope));
+    for (auto& s : sweeps) {
+      std::cout << "  optimum for " << s.workload << ": "
+                << TextTable::num(in_ghz(s.optimal_frequency(scope)), 2) << " GHz\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

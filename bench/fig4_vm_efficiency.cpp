@@ -1,0 +1,44 @@
+// E5 — Fig. 4: UIPS/Watt of cores / SoC / server versus core frequency for
+// the two virtualized banking-VM classes.
+//
+// Expected shape: same three-scope behaviour as Fig. 3; VMs high-mem UIPS
+// exceeds VMs low-mem (the high-memory Bitbrains class is also more
+// CPU-bound); server-scope optimum around 1 GHz.
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Fig. 4 — efficiency (UIPS/W) of cores / SoC / server, virtualized apps",
+                      "Pahlevan et al., DATE'16, Figure 4");
+
+  const auto platform = bench::default_platform();
+  const auto grid = bench::paper_frequency_grid();
+  dse::ExplorationDriver driver{platform, bench::bench_sim_config()};
+
+  std::vector<dse::SweepResult> sweeps;
+  for (const auto& profile : workload::WorkloadProfile::vm_suite()) {
+    sweeps.push_back(driver.sweep(profile, grid));
+  }
+
+  for (dse::Scope scope : {dse::Scope::kCores, dse::Scope::kSoc, dse::Scope::kServer}) {
+    std::cout << "--- Fig. 4" << (scope == dse::Scope::kCores ? 'a'
+                                  : scope == dse::Scope::kSoc ? 'b' : 'c')
+              << ": " << dse::to_string(scope) << " efficiency (GUIPS/W) ---\n";
+    TextTable t({"f (GHz)", "VMs low-mem", "VMs high-mem", "UIPS low (G)", "UIPS high (G)"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      t.add_row({TextTable::num(in_ghz(grid[i]), 2),
+                 TextTable::num(sweeps[0].efficiency(i, scope) / 1e9, 3),
+                 TextTable::num(sweeps[1].efficiency(i, scope) / 1e9, 3),
+                 TextTable::num(sweeps[0].points[i].uips / 1e9, 1),
+                 TextTable::num(sweeps[1].points[i].uips / 1e9, 1)});
+    }
+    bench::print_table(t, std::string("fig4_") + dse::to_string(scope));
+    for (auto& s : sweeps) {
+      std::cout << "  optimum for " << s.workload << ": "
+                << TextTable::num(in_ghz(s.optimal_frequency(scope)), 2) << " GHz\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// P1 — google-benchmark microbenchmarks of the simulator's hot loops:
+// DRAM channel scheduling, cache-array probes, OoO core cycles, the
+// workload generator and the technology-model solver.
+#include <benchmark/benchmark.h>
+
+#include "ntserv/ntserv.hpp"
+
+using namespace ntserv;
+
+namespace {
+
+void BM_DramRandomTraffic(benchmark::State& state) {
+  dram::DramSystem mem;
+  std::uint64_t id = 0;
+  Xoshiro256StarStar rng{42};
+  for (auto _ : state) {
+    if ((id & 3) == 0) {
+      const Addr a = rng.uniform_below(1ull << 30) & ~63ull;
+      (void)mem.enqueue(id, a, rng.bernoulli(0.25));
+    }
+    mem.tick();
+    benchmark::DoNotOptimize(mem.drain_completions());
+    ++id;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramRandomTraffic);
+
+void BM_CacheArrayProbe(benchmark::State& state) {
+  cache::CacheArray cache{{4 * kMiB, 16, cache::ReplacementPolicy::kLru, 7, false}};
+  Xoshiro256StarStar rng{7};
+  // Pre-populate.
+  for (int i = 0; i < 100000; ++i) {
+    const Addr a = rng.uniform_below(1ull << 24) & ~63ull;
+    if (!cache.probe(a)) cache.insert(a, false);
+  }
+  for (auto _ : state) {
+    const Addr a = rng.uniform_below(1ull << 24) & ~63ull;
+    auto ref = cache.probe(a);
+    if (!ref) benchmark::DoNotOptimize(cache.insert(a, false));
+    benchmark::DoNotOptimize(ref);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheArrayProbe);
+
+void BM_ClusterCycle(benchmark::State& state) {
+  sim::ClusterConfig cc;
+  cc.core_clock = ghz(2.0);
+  std::vector<std::unique_ptr<cpu::UopSource>> sources;
+  for (int c = 0; c < 4; ++c) {
+    sources.push_back(std::make_unique<workload::SyntheticWorkload>(
+        workload::WorkloadProfile::web_search(), 100 + static_cast<std::uint64_t>(c),
+        workload::AddressSpace::for_core(static_cast<CoreId>(c))));
+  }
+  sim::Cluster cluster{cc, std::move(sources)};
+  cluster.run(50'000);  // warm
+  for (auto _ : state) {
+    cluster.run(100);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  state.counters["ipc"] = cluster.metrics().ipc / 4.0;
+}
+BENCHMARK(BM_ClusterCycle);
+
+void BM_WorkloadGenerator(benchmark::State& state) {
+  workload::SyntheticWorkload gen{workload::WorkloadProfile::data_serving(), 11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+void BM_VoltageSolver(benchmark::State& state) {
+  const tech::TechnologyModel soi{tech::TechnologyParams::fdsoi28()};
+  double f = 0.2e9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soi.voltage_for(Hertz{f}));
+    f += 1e6;
+    if (f > 3.0e9) f = 0.2e9;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VoltageSolver);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  Xoshiro256StarStar rng{3};
+  ZipfSampler zipf{1 << 20, 0.99};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSampler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// E2 — Table I: DDR4 per-rank energy coefficients and the derived
+// server-level memory power (background + bandwidth-proportional parts).
+#include "bench_common.hpp"
+
+using namespace ntserv;
+
+int main() {
+  bench::print_header("Table I — 8x 4Gbit DDR4-1600 rank energy & memory power model",
+                      "Pahlevan et al., DATE'16, Table I & Sec. II-C3");
+
+  const power::DramPowerModel ddr4{power::DramPowerParams{}};
+  const auto& e = ddr4.params().energy;
+
+  TextTable t({"coefficient", "value", "paper"});
+  t.add_row({"E_IDLE  (nJ/cycle)", TextTable::num(in_nj(e.idle_per_cycle), 4), "0.0728"});
+  t.add_row({"E_READ  (nJ/byte)", TextTable::num(in_nj(e.read_per_byte), 4), "0.2566"});
+  t.add_row({"E_WRITE (nJ/byte)", TextTable::num(in_nj(e.write_per_byte), 4), "0.2495"});
+  bench::print_table(t, "table1");
+
+  TextTable d({"read BW (GB/s)", "write BW (GB/s)", "background (W)", "dynamic (W)",
+               "total (W)"});
+  for (double rd : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double wr = rd / 4.0;
+    const auto bg = ddr4.background_power();
+    const auto dyn = ddr4.dynamic_power(rd * 1e9, wr * 1e9);
+    d.add_row({TextTable::num(rd, 1), TextTable::num(wr, 1), TextTable::num(bg.value(), 2),
+               TextTable::num(dyn.value(), 2), TextTable::num((bg + dyn).value(), 2)});
+  }
+  std::cout << "Derived memory power, " << ddr4.total_ranks() << " ranks (4ch x 4):\n";
+  bench::print_table(d, "table1_power");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Full frequency sweep for one workload: prints UIPS, power at the three
+// scopes and the efficiency curves — a one-workload slice of Fig. 3.
+// Usage: frequency_sweep [workload]
+//   workload: data-serving | web-search | web-serving | media-streaming |
+//             vm-low | vm-high   (default: data-serving)
+#include <iostream>
+#include <string>
+
+#include "ntserv/ntserv.hpp"
+
+using namespace ntserv;
+
+namespace {
+
+workload::WorkloadProfile pick_profile(const std::string& name) {
+  using WP = workload::WorkloadProfile;
+  if (name == "web-search") return WP::web_search();
+  if (name == "web-serving") return WP::web_serving();
+  if (name == "media-streaming") return WP::media_streaming();
+  if (name == "vm-low") return WP::vm_banking_low_mem();
+  if (name == "vm-high") return WP::vm_banking_high_mem();
+  if (name == "data-serving" || name.empty()) return WP::data_serving();
+  throw ModelError("unknown workload: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profile = pick_profile(argc > 1 ? argv[1] : "data-serving");
+  const power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  sim::ServerSimConfig config;
+  config.smarts.max_samples = 6;
+  dse::ExplorationDriver driver{platform, config};
+
+  const auto grid = sim::frequency_grid(ghz(0.2), ghz(2.0), 10);
+  const auto sweep = driver.sweep(profile, grid);
+
+  TextTable t({"f (GHz)", "Vdd (V)", "UIPS (G)", "P cores", "P SoC", "P server",
+               "eff cores", "eff SoC", "eff server"});
+  for (const auto& p : sweep.points) {
+    t.add_row({TextTable::num(in_ghz(p.frequency), 2), TextTable::num(p.vdd.value(), 3),
+               TextTable::num(p.uips / 1e9, 1), TextTable::num(p.power.cores().value(), 1),
+               TextTable::num(p.power.soc().value(), 1),
+               TextTable::num(p.power.server().value(), 1),
+               TextTable::num(p.eff_cores / 1e9, 2), TextTable::num(p.eff_soc / 1e9, 3),
+               TextTable::num(p.eff_server / 1e9, 3)});
+  }
+  std::cout << "Frequency sweep for " << profile.name << ":\n";
+  t.print(std::cout);
+
+  std::cout << "\nOptima: cores "
+            << in_ghz(sweep.optimal_frequency(dse::Scope::kCores)) << " GHz, SoC "
+            << in_ghz(sweep.optimal_frequency(dse::Scope::kSoc)) << " GHz, server "
+            << in_ghz(sweep.optimal_frequency(dse::Scope::kServer)) << " GHz\n"
+            << "Energy proportionality (server scope): "
+            << dse::energy_proportionality(sweep, dse::Scope::kServer) << "\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Private-cloud scenario (paper Sec. III-B1): pick the most efficient
+// operating point for each scale-out application subject to its strict
+// tail-latency QoS, and report the energy saved versus running at 2 GHz.
+#include <iostream>
+
+#include "ntserv/ntserv.hpp"
+
+using namespace ntserv;
+
+int main() {
+  const power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+
+  sim::ServerSimConfig config;
+  config.smarts.max_samples = 6;
+  dse::ExplorationDriver driver{platform, config};
+  const auto grid = sim::frequency_grid(ghz(0.2), ghz(2.0), 8);
+  const auto targets = qos::QosTarget::scale_out_suite();
+  const auto profiles = workload::WorkloadProfile::scale_out_suite();
+
+  TextTable t({"workload", "QoS floor (MHz)", "chosen f (GHz)", "norm. p99", "P server (W)",
+               "P @2GHz (W)", "energy/op saving"});
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    const auto sweep = driver.sweep(profiles[w], grid);
+    const auto choice = dse::choose_operating_point(sweep, targets[w]);
+
+    // Locate power at the chosen point and at the 2 GHz baseline.
+    const auto* chosen = &sweep.points.front();
+    const auto* baseline = &sweep.points.front();
+    for (const auto& p : sweep.points) {
+      if (p.frequency == choice.chosen_frequency) chosen = &p;
+      if (p.frequency > baseline->frequency) baseline = &p;
+    }
+    // Energy per user instruction = P / UIPS.
+    const double e_chosen = chosen->power.server().value() / chosen->uips;
+    const double e_base = baseline->power.server().value() / baseline->uips;
+
+    t.add_row({profiles[w].name, TextTable::num(in_mhz(choice.qos_floor), 0),
+               TextTable::num(in_ghz(choice.chosen_frequency), 2),
+               TextTable::num(choice.normalized_p99, 2),
+               TextTable::num(chosen->power.server().value(), 1),
+               TextTable::num(baseline->power.server().value(), 1),
+               TextTable::num(100.0 * (1.0 - e_chosen / e_base), 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nAll four applications meet their QoS while running far below 2 GHz —\n"
+               "the near-threshold operating argument of the paper.\n";
+  return 0;
+}

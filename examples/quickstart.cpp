@@ -1,0 +1,56 @@
+// Quickstart: simulate one workload at one DVFS point and print the
+// throughput and the power breakdown at the paper's three scopes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "ntserv/ntserv.hpp"
+
+using namespace ntserv;
+
+int main() {
+  // 1. Pick a technology flavor: 28nm UTBB FD-SOI (the paper's platform).
+  const tech::TechnologyModel technology{tech::TechnologyParams::fdsoi28()};
+
+  // 2. Assemble the server power model: 9 clusters x 4 A57-class cores,
+  //    4MB LLC + crossbar per cluster, T2-class I/O, 4x DDR4-1600.
+  const power::ServerPowerModel platform{technology, power::ChipConfig{}};
+
+  // 3. Choose a workload and simulation configuration.
+  const auto profile = workload::WorkloadProfile::web_search();
+  sim::ServerSimConfig config;
+  config.smarts.warm_instructions = 600'000;
+  config.smarts.max_samples = 8;
+
+  // 4. Evaluate one operating point.
+  const sim::ServerSimulator simulator{profile, platform, config};
+  const Hertz f = ghz(1.0);
+  const auto r = simulator.evaluate(f);
+
+  std::cout << "Workload: " << profile.name << " @ " << in_ghz(f) << " GHz (Vdd = "
+            << r.vdd.value() << " V)\n"
+            << "  cluster UIPC        : " << r.uipc_cluster << " (" << r.uipc_cluster / 4
+            << "/core)\n"
+            << "  chip UIPS           : " << r.uips / 1e9 << " G\n"
+            << "  sampling            : " << r.sampling.samples << " samples, rel. error "
+            << r.sampling.uipc_rel_error * 100 << "% (converged: "
+            << (r.sampling.converged ? "yes" : "no") << ")\n";
+
+  const auto& p = r.power;
+  std::cout << "Power breakdown:\n"
+            << "  cores dynamic       : " << p.core_dynamic.value() << " W\n"
+            << "  cores leakage       : " << p.core_leakage.value() << " W\n"
+            << "  LLC                 : " << p.llc.value() << " W\n"
+            << "  interconnect        : " << p.interconnect.value() << " W\n"
+            << "  I/O peripherals     : " << p.io.value() << " W\n"
+            << "  DRAM background     : " << p.dram_background.value() << " W\n"
+            << "  DRAM dynamic        : " << p.dram_dynamic.value() << " W\n"
+            << "  -- cores / SoC / server: " << p.cores().value() << " / " << p.soc().value()
+            << " / " << p.server().value() << " W\n";
+
+  std::cout << "Efficiency (UIPS/W): cores " << r.eff_cores / 1e9 << " G, SoC "
+            << r.eff_soc / 1e9 << " G, server " << r.eff_server / 1e9 << " G\n";
+  return 0;
+}

@@ -1,0 +1,8 @@
+// The common module is header-only; this TU anchors the static library and
+// verifies the headers are self-contained.
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"

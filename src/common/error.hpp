@@ -1,0 +1,63 @@
+// Error handling for ntserv.
+//
+// Model-configuration mistakes (inconsistent parameters, out-of-range
+// operating points) throw ModelError; simulator invariant violations
+// (broken timing constraints, protocol errors) throw SimulationError.
+// Both derive from NtservError so callers can catch the library root.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ntserv {
+
+/// Root of the ntserv exception hierarchy.
+class NtservError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A model was configured or queried outside its valid domain.
+class ModelError : public NtservError {
+ public:
+  using NtservError::NtservError;
+};
+
+/// A simulator invariant was violated (internal bug or corrupt input).
+class SimulationError : public NtservError {
+ public:
+  using NtservError::NtservError;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_expect_failure(const char* kind, const char* expr,
+                                              const std::string& msg,
+                                              const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << loc.file_name() << ":" << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelError(os.str());
+}
+}  // namespace detail
+
+/// Precondition check: throws ModelError with location info on failure.
+#define NTSERV_EXPECTS(cond, msg)                                                      \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      ::ntserv::detail::throw_expect_failure("precondition", #cond, (msg),             \
+                                             std::source_location::current());         \
+    }                                                                                  \
+  } while (false)
+
+/// Postcondition / invariant check, same mechanics as NTSERV_EXPECTS.
+#define NTSERV_ENSURES(cond, msg)                                                      \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      ::ntserv::detail::throw_expect_failure("postcondition", #cond, (msg),            \
+                                             std::source_location::current());         \
+    }                                                                                  \
+  } while (false)
+
+}  // namespace ntserv

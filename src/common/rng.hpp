@@ -1,0 +1,177 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// All stochastic components (workload generators, sampling jitter,
+// replacement tie-breaks) draw from Xoshiro256StarStar seeded from the run
+// configuration, so every experiment is bit-reproducible across runs and
+// platforms. The generator satisfies std::uniform_random_bit_generator and
+// can feed <random> distributions, but the convenience members below avoid
+// libstdc++-version-dependent distribution behaviour where determinism of
+// the *values* matters (not just the bit stream).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ntserv {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 high-quality mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t uniform_below(std::uint64_t n) {
+    NTSERV_EXPECTS(n > 0, "uniform_below requires n > 0");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (deterministic, platform-independent).
+  double normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = 0.0;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    cached_normal_ = r * std::sin(kTwoPi * u2);
+    have_cached_normal_ = true;
+    return r * std::cos(kTwoPi * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda) {
+    NTSERV_EXPECTS(lambda > 0.0, "exponential rate must be positive");
+    double u = 0.0;
+    do { u = uniform(); } while (u <= 0.0);
+    return -std::log(u) / lambda;
+  }
+
+  /// Geometric number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p) {
+    NTSERV_EXPECTS(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+    if (p >= 1.0) return 0;
+    double u = 0.0;
+    do { u = uniform(); } while (u <= 0.0);
+    return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// Fork an independent stream (jump-free split via reseeding).
+  Xoshiro256StarStar split() { return Xoshiro256StarStar{(*this)() ^ 0xD2B74407B1CE6E93ull}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+/// Zipf(N, s) sampler over ranks [0, N) using Chlebus's rejection-inversion
+/// approximation; deterministic given the RNG stream. Heavily used by the
+/// workload address generators (hot-object popularity follows Zipf in
+/// scale-out serving workloads, cf. YCSB).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    NTSERV_EXPECTS(n >= 1, "Zipf support must be non-empty");
+    NTSERV_EXPECTS(s >= 0.0, "Zipf skew must be non-negative");
+    h_x1_ = h(1.5) - std::pow(2.0, -s_);
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_span_ = h_x1_ - h_n_;
+  }
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double skew() const { return s_; }
+
+  /// Draw a rank in [0, n), rank 0 being the most popular.
+  std::uint64_t operator()(Xoshiro256StarStar& rng) const {
+    if (s_ == 0.0) return rng.uniform_below(n_);
+    for (;;) {
+      const double u = h_n_ + rng.uniform() * dist_span_;
+      const double x = h_inv(u);
+      const auto k = static_cast<std::uint64_t>(x + 0.5);
+      const double kd = static_cast<double>(k);
+      if (kd - x <= 0.0 || u >= h(kd + 0.5) - std::pow(kd, -s_)) {
+        // k in [1, n]; clamp guards the floating boundary.
+        const std::uint64_t clamped = k < 1 ? 1 : (k > n_ ? n_ : k);
+        return clamped - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s, handled separately for s == 1.
+  [[nodiscard]] double h(double x) const {
+    if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+  }
+  [[nodiscard]] double h_inv(double u) const {
+    if (std::abs(s_ - 1.0) < 1e-12) return std::exp(u);
+    return std::pow(u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double dist_span_ = 0.0;
+};
+
+}  // namespace ntserv

@@ -1,0 +1,83 @@
+// ASCII table / CSV emission for the figure- and table-regeneration benches.
+//
+// Every bench binary prints the series the paper plots; TextTable renders a
+// human-readable grid and write_csv emits the same data for plotting.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ntserv {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    NTSERV_EXPECTS(!header_.empty(), "table needs at least one column");
+  }
+
+  /// Add a row of already-formatted cells; must match header width.
+  TextTable& add_row(std::vector<std::string> cells) {
+    NTSERV_EXPECTS(cells.size() == header_.size(), "row width must match header");
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_sep = [&] {
+      os << '+';
+      for (auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << '|';
+      for (std::size_t c = 0; c < row.size(); ++c)
+        os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+      os << '\n';
+    };
+
+    os << std::right;
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+  void write_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) os << ',';
+        os << row[c];
+      }
+      os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ntserv

@@ -1,0 +1,25 @@
+// Shared simulator-level scalar types and identifiers.
+#pragma once
+
+#include <cstdint>
+
+namespace ntserv {
+
+/// Simulator cycle count (core-clock or memory-clock domain as documented
+/// at the point of use).
+using Cycle = std::uint64_t;
+
+/// Physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+
+/// Identifier for a core within a cluster (0..cores_per_cluster-1).
+using CoreId = std::uint32_t;
+
+/// Cache line size of the whole hierarchy (fixed, matching the paper's
+/// A57-class configuration).
+constexpr std::uint64_t kCacheLineBytes = 64;
+
+/// Align an address down to its cache-line base.
+constexpr Addr line_base(Addr a) { return a & ~(kCacheLineBytes - 1); }
+
+}  // namespace ntserv

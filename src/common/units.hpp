@@ -1,0 +1,143 @@
+// Strongly-typed physical quantities used throughout ntserv.
+//
+// The library mixes frequencies, voltages, powers, energies and times in the
+// same expressions; a bare `double` interface invites silent unit mistakes
+// (e.g. passing MHz where Hz is expected). Each quantity below is a distinct
+// type with explicit construction, so mixing units is a compile error, while
+// arithmetic within a unit (and scaling by dimensionless factors) stays
+// natural. Cross-dimensional relations that the models actually need
+// (P = E/t, E = P*t) are provided as explicit free operators.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace ntserv {
+
+/// CRTP-free strong quantity: a double tagged with its dimension.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity{value_ + o.value_}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{value_ - o.value_}; }
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity& operator+=(Quantity o) { value_ += o.value_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { value_ -= o.value_; return *this; }
+
+  constexpr Quantity operator*(double s) const { return Quantity{value_ * s}; }
+  constexpr Quantity operator/(double s) const { return Quantity{value_ / s}; }
+  constexpr Quantity& operator*=(double s) { value_ *= s; return *this; }
+  constexpr Quantity& operator/=(double s) { value_ /= s; return *this; }
+
+  /// Ratio of two like quantities is dimensionless.
+  constexpr double operator/(Quantity o) const { return value_ / o.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag> operator*(double s, Quantity<Tag> q) { return q * s; }
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Quantity<Tag> q) { return os << q.value(); }
+
+struct FrequencyTag {};
+struct VoltageTag {};
+struct PowerTag {};
+struct EnergyTag {};
+struct TimeTag {};
+struct TemperatureTag {};
+
+/// Frequency in hertz.
+using Hertz = Quantity<FrequencyTag>;
+/// Electric potential in volts.
+using Volt = Quantity<VoltageTag>;
+/// Power in watts.
+using Watt = Quantity<PowerTag>;
+/// Energy in joules.
+using Joule = Quantity<EnergyTag>;
+/// Time in seconds.
+using Second = Quantity<TimeTag>;
+/// Absolute temperature in kelvin.
+using Kelvin = Quantity<TemperatureTag>;
+
+// ---- Construction helpers -------------------------------------------------
+
+constexpr Hertz hz(double v) { return Hertz{v}; }
+constexpr Hertz khz(double v) { return Hertz{v * 1e3}; }
+constexpr Hertz mhz(double v) { return Hertz{v * 1e6}; }
+constexpr Hertz ghz(double v) { return Hertz{v * 1e9}; }
+
+constexpr Volt volts(double v) { return Volt{v}; }
+constexpr Volt millivolts(double v) { return Volt{v * 1e-3}; }
+
+constexpr Watt watts(double v) { return Watt{v}; }
+constexpr Watt milliwatts(double v) { return Watt{v * 1e-3}; }
+
+constexpr Joule joules(double v) { return Joule{v}; }
+constexpr Joule millijoules(double v) { return Joule{v * 1e-3}; }
+constexpr Joule nanojoules(double v) { return Joule{v * 1e-9}; }
+constexpr Joule picojoules(double v) { return Joule{v * 1e-12}; }
+
+constexpr Second seconds(double v) { return Second{v}; }
+constexpr Second milliseconds(double v) { return Second{v * 1e-3}; }
+constexpr Second microseconds(double v) { return Second{v * 1e-6}; }
+constexpr Second nanoseconds(double v) { return Second{v * 1e-9}; }
+
+constexpr Kelvin kelvin(double v) { return Kelvin{v}; }
+/// Temperature helper: degrees Celsius to Kelvin.
+constexpr Kelvin celsius(double v) { return Kelvin{v + 273.15}; }
+
+// ---- View helpers ---------------------------------------------------------
+
+constexpr double in_mhz(Hertz f) { return f.value() / 1e6; }
+constexpr double in_ghz(Hertz f) { return f.value() / 1e9; }
+constexpr double in_mw(Watt p) { return p.value() / 1e-3; }
+constexpr double in_nj(Joule e) { return e.value() / 1e-9; }
+constexpr double in_ms(Second t) { return t.value() / 1e-3; }
+constexpr double in_us(Second t) { return t.value() / 1e-6; }
+
+// ---- Cross-dimensional relations ------------------------------------------
+
+/// Energy dissipated by constant power over a duration.
+constexpr Joule operator*(Watt p, Second t) { return Joule{p.value() * t.value()}; }
+constexpr Joule operator*(Second t, Watt p) { return p * t; }
+
+/// Average power of an energy spent over a duration.
+constexpr Watt operator/(Joule e, Second t) { return Watt{e.value() / t.value()}; }
+
+/// Duration to spend an energy budget at constant power.
+constexpr Second operator/(Joule e, Watt p) { return Second{e.value() / p.value()}; }
+
+/// Period of one cycle at frequency f.
+constexpr Second period(Hertz f) { return Second{1.0 / f.value()}; }
+
+/// Energy per cycle at a given power and frequency: E = P / f.
+constexpr Joule energy_per_cycle(Watt p, Hertz f) { return Joule{p.value() / f.value()}; }
+
+/// Number of cycles elapsed in `t` at frequency `f`.
+constexpr double cycles_in(Second t, Hertz f) { return t.value() * f.value(); }
+
+// ---- Data sizes (integral, not Quantity: exact byte counts matter) --------
+
+constexpr std::uint64_t kKiB = 1024ull;
+constexpr std::uint64_t kMiB = 1024ull * kKiB;
+constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Bandwidth in bytes/second, kept as plain double (always derived).
+using BytesPerSecond = double;
+
+constexpr BytesPerSecond gib_per_s(double v) { return v * static_cast<double>(kGiB); }
+constexpr double in_gib_per_s(BytesPerSecond b) { return b / static_cast<double>(kGiB); }
+
+}  // namespace ntserv

@@ -1,0 +1,34 @@
+#include "cpu/bpred.hpp"
+
+namespace ntserv::cpu {
+
+GsharePredictor::GsharePredictor(BpredParams params) : params_(params) {
+  NTSERV_EXPECTS(params_.pht_bits > 0 && params_.pht_bits <= 24, "PHT size out of range");
+  NTSERV_EXPECTS(params_.history_bits >= 0 && params_.history_bits <= params_.pht_bits,
+                 "history must fit the PHT index");
+  pht_.assign(1ull << params_.pht_bits, 2);  // weakly taken
+}
+
+std::size_t GsharePredictor::index(Addr pc) const {
+  const std::uint64_t mask = (1ull << params_.pht_bits) - 1;
+  const std::uint64_t hist_mask = params_.history_bits == 0
+                                      ? 0
+                                      : (1ull << params_.history_bits) - 1;
+  return static_cast<std::size_t>(((pc >> 2) ^ (history_ & hist_mask)) & mask);
+}
+
+bool GsharePredictor::predict(Addr pc) const {
+  ++lookups_;
+  return pht_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(Addr pc, bool taken) {
+  std::uint8_t& ctr = pht_[index(pc)];
+  const bool predicted = ctr >= 2;
+  if (predicted != taken) ++mispredicts_;
+  if (taken && ctr < 3) ++ctr;
+  if (!taken && ctr > 0) --ctr;
+  history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+}  // namespace ntserv::cpu

@@ -1,0 +1,52 @@
+// Gshare branch direction predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ntserv::cpu {
+
+struct BpredParams {
+  /// log2 of the pattern history table size (A57-class: 64K entries).
+  int pht_bits = 16;
+  /// Global history length (<= pht_bits). 0 selects a pure bimodal
+  /// (per-PC) predictor — the right default for server code whose branch
+  /// behaviour is dominated by strongly-biased per-site directions; set
+  /// >0 for gshare pattern correlation.
+  int history_bits = 0;
+};
+
+/// Classic gshare: PHT of 2-bit saturating counters indexed by
+/// PC xor global-history.
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(BpredParams params = {});
+
+  /// Predict the direction of the branch at `pc`.
+  [[nodiscard]] bool predict(Addr pc) const;
+
+  /// Train with the resolved direction and advance the history.
+  void update(Addr pc, bool taken);
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t mispredicts() const { return mispredicts_; }
+  [[nodiscard]] double mispredict_rate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(mispredicts_) / static_cast<double>(lookups_);
+  }
+  void reset_stats() { lookups_ = 0; mispredicts_ = 0; }
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const;
+
+  BpredParams params_;
+  std::vector<std::uint8_t> pht_;  ///< 2-bit counters, init weakly-taken
+  std::uint64_t history_ = 0;
+  mutable std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace ntserv::cpu

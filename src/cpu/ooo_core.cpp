@@ -1,0 +1,269 @@
+#include "cpu/ooo_core.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ntserv::cpu {
+
+namespace {
+constexpr std::uint64_t kTagIFetch = 1ull << 63;
+constexpr std::uint64_t kTagStore = 1ull << 62;
+constexpr std::uint64_t kTagMask = kTagIFetch | kTagStore;
+}  // namespace
+
+OooCore::OooCore(CoreParams params, CoreId id, cache::ClusterMemorySystem& memory,
+                 UopSource& source)
+    : params_(params), id_(id), memory_(memory), source_(source), bpred_(params.bpred) {
+  NTSERV_EXPECTS(params_.width > 0, "core width must be positive");
+  NTSERV_EXPECTS(params_.rob_entries >= params_.width, "ROB must hold one fetch group");
+  fu_int_alu_.assign(static_cast<std::size_t>(params_.fu_int_alu), 0);
+  fu_int_muldiv_.assign(static_cast<std::size_t>(params_.fu_int_muldiv), 0);
+  fu_fp_.assign(static_cast<std::size_t>(params_.fu_fp), 0);
+  fu_load_.assign(static_cast<std::size_t>(params_.fu_load), 0);
+  fu_store_.assign(static_cast<std::size_t>(params_.fu_store), 0);
+  fu_branch_.assign(static_cast<std::size_t>(params_.fu_branch), 0);
+}
+
+void OooCore::reset_stats() {
+  stats_ = CoreStats{};
+  bpred_.reset_stats();
+}
+
+OooCore::RobEntry* OooCore::find_producer(std::uint64_t seq, std::uint16_t dist) {
+  if (dist == 0 || rob_.empty()) return nullptr;
+  if (seq < dist) return nullptr;
+  const std::uint64_t prod_seq = seq - dist;
+  const std::uint64_t head_seq = rob_.front().seq;
+  if (prod_seq < head_seq) return nullptr;  // already committed: ready
+  const std::uint64_t idx = prod_seq - head_seq;
+  if (idx >= rob_.size()) return nullptr;
+  return &rob_[static_cast<std::size_t>(idx)];
+}
+
+const OooCore::RobEntry* OooCore::find_producer(std::uint64_t seq, std::uint16_t dist) const {
+  return const_cast<OooCore*>(this)->find_producer(seq, dist);
+}
+
+bool OooCore::operands_ready(const RobEntry& e, Cycle now) const {
+  for (std::uint16_t d : e.op.src_dist) {
+    const RobEntry* p = find_producer(e.seq, d);
+    if (p == nullptr) continue;  // committed or no dependency
+    if (p->state == State::kWaiting || !p->ready_known || p->ready_at > now) return false;
+  }
+  return true;
+}
+
+bool OooCore::claim_fu(UopType type, Cycle now, Cycle* latency) {
+  auto claim = [&](std::vector<Cycle>& units, Cycle lat, bool pipelined) {
+    for (auto& free_at : units) {
+      if (free_at <= now) {
+        free_at = pipelined ? now + 1 : now + lat;
+        *latency = lat;
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto& lat = params_.lat;
+  switch (type) {
+    case UopType::kIntAlu: return claim(fu_int_alu_, lat.int_alu, true);
+    case UopType::kIntMul: return claim(fu_int_muldiv_, lat.int_mul, true);
+    case UopType::kIntDiv: return claim(fu_int_muldiv_, lat.int_div, false);
+    case UopType::kFpAlu: return claim(fu_fp_, lat.fp_alu, true);
+    case UopType::kFpMul: return claim(fu_fp_, lat.fp_mul, true);
+    case UopType::kFpDiv: return claim(fu_fp_, lat.fp_div, false);
+    case UopType::kLoad: return claim(fu_load_, 0, true);
+    case UopType::kStore: return claim(fu_store_, 1, true);
+    case UopType::kBranch: return claim(fu_branch_, lat.branch, true);
+  }
+  return false;
+}
+
+void OooCore::do_fetch(Cycle now) {
+  if (ifetch_outstanding_ || now < fetch_blocked_until_) {
+    ++stats_.fetch_stall_cycles;
+    return;
+  }
+  for (int slot = 0; slot < params_.width; ++slot) {
+    if (rob_.size() >= static_cast<std::size_t>(params_.rob_entries)) {
+      ++stats_.rob_full_cycles;
+      return;
+    }
+    if (!staged_) staged_ = source_.next();
+    const MicroOp& op = *staged_;
+
+    // Load/store queue occupancy.
+    if (op.type == UopType::kLoad && loads_in_flight_ >= params_.load_queue) return;
+    if (op.type == UopType::kStore && stores_in_window_ >= params_.store_queue) return;
+
+    // Instruction-side: crossing into a new cache line costs an L1I access.
+    const Addr fetch_line = line_base(op.pc);
+    if (fetch_line != current_fetch_line_) {
+      const auto ticket = memory_.access(id_, op.pc, cache::AccessType::kIFetch,
+                                         kTagIFetch | (next_seq_ & ~kTagMask), now);
+      switch (ticket.status) {
+        case cache::AccessTicket::Status::kHit:
+          current_fetch_line_ = fetch_line;
+          // Pipelined L1I hits do not bubble; anything slower (line served
+          // by the LLC) stalls fetch until it lands.
+          if (ticket.complete_at > now + params_.lat.int_alu + 2) {
+            fetch_blocked_until_ = ticket.complete_at;
+            return;
+          }
+          break;
+        case cache::AccessTicket::Status::kMiss:
+          ifetch_outstanding_ = true;
+          current_fetch_line_ = fetch_line;
+          return;
+        case cache::AccessTicket::Status::kRejected:
+          return;  // retry next cycle
+      }
+    }
+
+    RobEntry e;
+    e.op = op;
+    e.seq = next_seq_++;
+    staged_.reset();
+
+    if (op.type == UopType::kBranch) {
+      ++stats_.branches;
+      const bool predicted = bpred_.predict(op.pc);
+      bpred_.update(op.pc, op.branch_taken);
+      if (predicted != op.branch_taken) {
+        e.mispredicted = true;
+        ++stats_.branch_mispredicts;
+      }
+    }
+    if (op.type == UopType::kLoad) ++loads_in_flight_;
+    if (op.type == UopType::kStore) ++stores_in_window_;
+
+    const bool gate = e.mispredicted;
+    rob_.push_back(std::move(e));
+    if (gate) {
+      // Mispredict redirect: the front end refetches from the correct
+      // target after a fixed pipeline-refill bubble. (Trace-driven model:
+      // wrong-path work is charged as this bubble rather than simulated —
+      // the OoO backend continues draining real work meanwhile, as a
+      // speculative core's correct-path instructions would.)
+      fetch_blocked_until_ = now + params_.mispredict_penalty;
+      return;
+    }
+  }
+}
+
+void OooCore::do_issue(Cycle now) {
+  int issued = 0;
+  for (auto& e : rob_) {
+    if (issued >= params_.width) break;
+    if (e.state != State::kWaiting) continue;
+    if (!operands_ready(e, now)) continue;
+
+    if (e.op.type == UopType::kLoad) {
+      // Store-to-load forwarding: youngest older store to the same word.
+      bool forwarded = false;
+      const std::uint64_t head_seq = rob_.front().seq;
+      for (std::uint64_t s = e.seq; s-- > head_seq;) {
+        const RobEntry& older = rob_[static_cast<std::size_t>(s - head_seq)];
+        if (older.op.type != UopType::kStore) continue;
+        if (older.state == State::kWaiting) continue;  // address unknown
+        if ((older.op.mem_addr & ~7ull) == (e.op.mem_addr & ~7ull)) {
+          e.state = State::kIssued;
+          e.ready_known = true;
+          e.ready_at = now + params_.forward_latency;
+          ++stats_.load_forwards;
+          ++stats_.issued;
+          ++issued;
+          forwarded = true;
+          break;
+        }
+      }
+      if (forwarded) continue;
+
+      Cycle lat = 0;
+      if (!claim_fu(UopType::kLoad, now, &lat)) continue;
+      const auto ticket =
+          memory_.access(id_, e.op.mem_addr, cache::AccessType::kLoad, e.seq, now);
+      if (ticket.status == cache::AccessTicket::Status::kRejected) continue;
+      e.state = State::kIssued;
+      if (ticket.status == cache::AccessTicket::Status::kHit) {
+        e.ready_known = true;
+        e.ready_at = ticket.complete_at;
+      } else {
+        e.ready_known = false;
+      }
+      ++stats_.issued;
+      ++issued;
+      continue;
+    }
+
+    Cycle lat = 0;
+    if (!claim_fu(e.op.type, now, &lat)) continue;
+    e.state = State::kIssued;
+    e.ready_known = true;
+    e.ready_at = now + std::max<Cycle>(lat, 1);
+    ++stats_.issued;
+    ++issued;
+
+  }
+}
+
+void OooCore::do_commit(Cycle now) {
+  for (int n = 0; n < params_.width && !rob_.empty(); ++n) {
+    RobEntry& head = rob_.front();
+    if (head.state != State::kIssued || !head.ready_known || head.ready_at > now) return;
+
+    if (head.op.type == UopType::kStore) {
+      if (store_buffer_.size() >= static_cast<std::size_t>(params_.store_buffer)) return;
+      store_buffer_.emplace_back(head.op.mem_addr,
+                                 kTagStore | (head.seq & ~kTagMask));
+      --stores_in_window_;
+      ++stats_.stores;
+    }
+    if (head.op.type == UopType::kLoad) {
+      --loads_in_flight_;
+      ++stats_.loads;
+    }
+    ++stats_.committed_total;
+    if (head.op.is_user) ++stats_.committed_user;
+    rob_.pop_front();
+  }
+}
+
+void OooCore::drain_store_buffer(Cycle now) {
+  if (store_buffer_.empty()) return;
+  const auto [addr, tag] = store_buffer_.front();
+  const auto ticket = memory_.access(id_, addr, cache::AccessType::kStore, tag, now);
+  if (ticket.status != cache::AccessTicket::Status::kRejected) {
+    store_buffer_.pop_front();  // posted: completion not awaited
+  }
+}
+
+void OooCore::on_miss_completion(std::uint64_t user_tag, Cycle done) {
+  if (user_tag & kTagIFetch) {
+    ifetch_outstanding_ = false;
+    fetch_blocked_until_ = std::max(fetch_blocked_until_, done);
+    return;
+  }
+  if (user_tag & kTagStore) return;  // posted store echo
+
+  if (rob_.empty()) return;
+  const std::uint64_t head_seq = rob_.front().seq;
+  if (user_tag < head_seq) return;
+  const std::uint64_t idx = user_tag - head_seq;
+  if (idx >= rob_.size()) return;
+  RobEntry& e = rob_[static_cast<std::size_t>(idx)];
+  NTSERV_ENSURES(e.seq == user_tag, "ROB sequence bookkeeping corrupt");
+  e.ready_known = true;
+  e.ready_at = done;
+}
+
+void OooCore::tick(Cycle now) {
+  ++stats_.cycles;
+  do_commit(now);
+  drain_store_buffer(now);
+  do_issue(now);
+  do_fetch(now);
+}
+
+}  // namespace ntserv::cpu

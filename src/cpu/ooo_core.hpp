@@ -1,0 +1,167 @@
+// Cycle-level 3-way out-of-order core model (Cortex-A57 class).
+//
+// Matches the paper's core configuration (Sec. IV): 3-way OoO with a
+// 128-entry instruction window, 32KB 2-way L1I/L1D. The model implements
+// the standard trace-driven OoO decomposition:
+//
+//  * fetch      — up to `width` uops/cycle, gated by L1I line fetches and
+//                 branch-mispredict redirects (predict-at-fetch, resolve-at-
+//                 execute gating; wrong-path work is charged as stall time);
+//  * dispatch   — into a circular ROB window with register renaming via
+//                 dependency distances;
+//  * issue      — oldest-first within the window, operand- and FU-limited;
+//  * memory     — loads/stores through the cluster memory system with MSHR
+//                 back-pressure, store-to-load forwarding, posted stores
+//                 drained from a store buffer at commit;
+//  * commit     — in order, up to `width`/cycle; user-instruction counting
+//                 for the paper's UIPC metric.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cluster_memory.hpp"
+#include "common/types.hpp"
+#include "cpu/bpred.hpp"
+#include "cpu/uop.hpp"
+
+namespace ntserv::cpu {
+
+struct FuLatencies {
+  Cycle int_alu = 1;
+  Cycle int_mul = 3;
+  Cycle int_div = 12;  ///< unpipelined
+  Cycle fp_alu = 4;
+  Cycle fp_mul = 5;
+  Cycle fp_div = 16;   ///< unpipelined
+  Cycle branch = 1;
+};
+
+struct CoreParams {
+  int width = 3;             ///< fetch/dispatch/issue/commit width
+  int rob_entries = 128;     ///< the paper's 128-entry instruction window
+  int load_queue = 32;
+  int store_queue = 16;
+  int store_buffer = 8;      ///< post-commit store buffer
+  Cycle mispredict_penalty = 12;  ///< redirect-to-refill, core cycles
+  Cycle forward_latency = 2;      ///< store-to-load forwarding
+  FuLatencies lat;
+  /// Functional-unit counts.
+  int fu_int_alu = 2;
+  int fu_int_muldiv = 1;
+  int fu_fp = 2;
+  int fu_load = 1;
+  int fu_store = 1;
+  int fu_branch = 1;
+  BpredParams bpred;
+};
+
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed_total = 0;
+  std::uint64_t committed_user = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t load_forwards = 0;
+  std::uint64_t fetch_stall_cycles = 0;
+  std::uint64_t rob_full_cycles = 0;
+  std::uint64_t issued = 0;
+
+  /// The paper's throughput metric: user instructions per cycle.
+  [[nodiscard]] double uipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed_user) / static_cast<double>(cycles);
+  }
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed_total) / static_cast<double>(cycles);
+  }
+  /// Fraction of issue slots used — the activity factor fed to the dynamic
+  /// power model.
+  [[nodiscard]] double issue_utilization(int width) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(issued) /
+                             (static_cast<double>(cycles) * static_cast<double>(width));
+  }
+};
+
+/// One out-of-order core attached to a cluster memory system.
+class OooCore {
+ public:
+  OooCore(CoreParams params, CoreId id, cache::ClusterMemorySystem& memory,
+          UopSource& source);
+
+  OooCore(const OooCore&) = delete;
+  OooCore& operator=(const OooCore&) = delete;
+
+  /// Advance one core cycle. The owner must call memory.tick() once per
+  /// cluster cycle (not per core) and route completions via
+  /// on_miss_completion().
+  void tick(Cycle now);
+
+  /// Deliver a memory-miss completion (matched by user tag).
+  void on_miss_completion(std::uint64_t user_tag, Cycle done);
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] const GsharePredictor& predictor() const { return bpred_; }
+  void reset_stats();
+
+  [[nodiscard]] CoreId id() const { return id_; }
+
+ private:
+  enum class State : std::uint8_t { kWaiting, kIssued, kDone };
+
+  struct RobEntry {
+    MicroOp op;
+    State state = State::kWaiting;
+    Cycle ready_at = 0;     ///< valid when state != kWaiting
+    bool ready_known = false;  ///< false while a miss is outstanding
+    std::uint64_t seq = 0;
+    bool mispredicted = false;
+  };
+
+  void do_fetch(Cycle now);
+  void do_issue(Cycle now);
+  void do_commit(Cycle now);
+  void drain_store_buffer(Cycle now);
+
+  [[nodiscard]] bool operands_ready(const RobEntry& e, Cycle now) const;
+  [[nodiscard]] RobEntry* find_producer(std::uint64_t seq, std::uint16_t dist);
+  [[nodiscard]] const RobEntry* find_producer(std::uint64_t seq, std::uint16_t dist) const;
+
+  /// Try to claim a functional unit of the uop's class; updates busy state.
+  bool claim_fu(UopType type, Cycle now, Cycle* latency);
+
+  CoreParams params_;
+  CoreId id_;
+  cache::ClusterMemorySystem& memory_;
+  UopSource& source_;
+  GsharePredictor bpred_;
+
+  std::deque<RobEntry> rob_;
+  std::uint64_t next_seq_ = 0;
+
+  /// Fetch gating.
+  Cycle fetch_blocked_until_ = 0;
+  Addr current_fetch_line_ = ~0ull;
+  bool ifetch_outstanding_ = false;
+  std::optional<MicroOp> staged_;  ///< fetched but not yet dispatchable
+
+  /// Post-commit store buffer: line addresses awaiting issue to memory.
+  std::deque<std::pair<Addr, std::uint64_t>> store_buffer_;
+
+  /// Per-FU-class pipelines: next cycle each unit is free.
+  std::vector<Cycle> fu_int_alu_, fu_int_muldiv_, fu_fp_, fu_load_, fu_store_, fu_branch_;
+
+  int loads_in_flight_ = 0;
+  int stores_in_window_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace ntserv::cpu

@@ -1,0 +1,271 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ntserv::dram {
+
+Channel::Channel(const DramConfig& config, const AddressMapper& mapper)
+    : config_(config), mapper_(mapper) {
+  const auto& g = config_.geometry;
+  ranks_.resize(static_cast<std::size_t>(g.ranks_per_channel));
+  for (auto& r : ranks_) {
+    r.banks.resize(static_cast<std::size_t>(g.banks_per_rank()));
+    r.next_refresh_due = config_.timing.trefi;
+  }
+}
+
+bool Channel::can_accept(bool is_write) const {
+  if (is_write) return write_q_.size() < static_cast<std::size_t>(config_.write_queue_depth);
+  return read_q_.size() < static_cast<std::size_t>(config_.read_queue_depth);
+}
+
+void Channel::enqueue(const MemRequest& req, Cycle now) {
+  NTSERV_EXPECTS(can_accept(req.is_write), "channel queue overflow");
+  Pending p{req, mapper_.decode(req.line_addr)};
+  p.req.arrival = now;
+  // Write forwarding: a read that hits a queued write is serviced from the
+  // write queue (the data is newer than the array's).
+  if (!req.is_write) {
+    for (const auto& w : write_q_) {
+      if (w.req.line_addr == req.line_addr) {
+        completions_.push_back({req.id, now + 1});
+        ++stats_.read_count;  // count as a (zero-ish latency) read
+        ++stats_.read_latency_sum;
+        return;
+      }
+    }
+    read_q_.push_back(std::move(p));
+  } else {
+    write_q_.push_back(std::move(p));
+  }
+}
+
+std::vector<MemResponse> Channel::drain_completions() {
+  std::vector<MemResponse> out;
+  out.swap(completions_);
+  return out;
+}
+
+Cycle Channel::act_allowed_at(const Rank& r, const DramCoord& c) const {
+  Cycle t = r.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))].next_act;
+  t = std::max(t, r.busy_until);
+  // tFAW: at most four ACTs per rank in any tFAW window.
+  if (r.act_window.size() >= 4) {
+    t = std::max(t, r.act_window[r.act_window.size() - 4] + config_.timing.tfaw);
+  }
+  return t;
+}
+
+void Channel::do_activate(const DramCoord& c, Cycle now) {
+  auto& rank = ranks_[static_cast<std::size_t>(c.rank)];
+  auto& bank = rank.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))];
+  const auto& t = config_.timing;
+
+  bank.active = true;
+  bank.open_row = c.row;
+  bank.next_pre = std::max(bank.next_pre, now + t.tras);
+  bank.next_cas = now + t.trcd;
+  bank.next_act = now + t.trc;
+
+  // tRRD: ACT-to-ACT spacing to *other* banks of the same rank.
+  for (int g = 0; g < config_.geometry.bank_groups; ++g) {
+    for (int b = 0; b < config_.geometry.banks_per_group; ++b) {
+      const auto idx = static_cast<std::size_t>(g * config_.geometry.banks_per_group + b);
+      if (idx == static_cast<std::size_t>(c.flat_bank(config_.geometry))) continue;
+      const Cycle spacing = (g == c.bank_group) ? t.trrd_l : t.trrd_s;
+      rank.banks[idx].next_act = std::max(rank.banks[idx].next_act, now + spacing);
+    }
+  }
+
+  rank.act_window.push_back(now);
+  while (rank.act_window.size() > 8) rank.act_window.pop_front();
+  ++stats_.activates;
+}
+
+void Channel::do_precharge(const DramCoord& c, Cycle now) {
+  auto& rank = ranks_[static_cast<std::size_t>(c.rank)];
+  auto& bank = rank.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))];
+  bank.active = false;
+  bank.next_act = std::max(bank.next_act, now + config_.timing.trp);
+  ++stats_.precharges;
+}
+
+bool Channel::cas_ready(const Pending& p, bool is_write, Cycle now) const {
+  const auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
+  const auto& bank =
+      rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+  if (!bank.active || bank.open_row != p.coord.row) return false;
+  if (now < bank.next_cas || now < rank.busy_until) return false;
+  if (now < (is_write ? rank.next_wr : rank.next_rd)) return false;
+
+  // CAS-to-CAS spacing by bank group.
+  const Cycle ccd_gate = (p.coord.bank_group == last_cas_group_) ? next_cas_same_group_
+                                                                 : next_cas_other_group_;
+  if (now < ccd_gate) return false;
+
+  // Data-bus availability (incl. rank-switch bubble).
+  const auto& t = config_.timing;
+  const Cycle data_start = now + (is_write ? t.cwl : t.cl);
+  Cycle bus_needed = data_bus_free_;
+  if (last_cas_rank_ >= 0 && last_cas_rank_ != p.coord.rank) bus_needed += t.trtrs;
+  return data_start >= bus_needed;
+}
+
+void Channel::do_cas(const Pending& p, bool is_write, Cycle now) {
+  auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
+  auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+  const auto& t = config_.timing;
+
+  const Cycle data_start = now + (is_write ? t.cwl : t.cl);
+  const Cycle data_end = data_start + t.burst_cycles();
+  data_bus_free_ = data_end;
+  stats_.data_bus_busy_cycles += t.burst_cycles();
+
+  next_cas_same_group_ = now + t.tccd_l;
+  next_cas_other_group_ = now + t.tccd_s;
+  last_cas_group_ = p.coord.bank_group;
+  last_cas_rank_ = p.coord.rank;
+
+  if (is_write) {
+    bank.next_pre = std::max(bank.next_pre, data_end + t.twr);
+    rank.next_rd = std::max(rank.next_rd, data_end + t.twtr);
+    ++stats_.writes_issued;
+  } else {
+    bank.next_pre = std::max(bank.next_pre, now + t.trtp);
+    in_flight_.push_back({p.req.id, p.req.arrival, data_end});
+    ++stats_.reads_issued;
+  }
+
+  if (config_.page_policy == PagePolicy::kClosed) {
+    // Model auto-precharge: schedule the precharge as soon as legal.
+    bank.active = false;
+    bank.next_act = std::max(bank.next_act, std::max(bank.next_pre, now) + t.trp);
+    ++stats_.precharges;
+  }
+}
+
+bool Channel::try_refresh(Cycle now) {
+  for (auto& rank : ranks_) {
+    if (now < rank.next_refresh_due || now < rank.busy_until) continue;
+
+    // All banks must be precharged; close them as their tRTP/tWR allow.
+    bool all_idle = true;
+    for (std::size_t b = 0; b < rank.banks.size(); ++b) {
+      auto& bank = rank.banks[b];
+      if (!bank.active) continue;
+      all_idle = false;
+      if (now >= bank.next_pre) {
+        DramCoord c;
+        c.rank = static_cast<int>(&rank - ranks_.data());
+        c.bank_group = static_cast<int>(b) / config_.geometry.banks_per_group;
+        c.bank = static_cast<int>(b) % config_.geometry.banks_per_group;
+        do_precharge(c, now);
+        return true;  // consumed this cycle's command slot
+      }
+    }
+    if (!all_idle) continue;
+
+    // Banks idle and REF due: REF is gated like an ACT (tRP after the last
+    // PRE, tRC after the last ACT), which per-bank next_act already encodes.
+    bool ready = true;
+    for (const auto& bank : rank.banks) {
+      if (now < bank.next_act) { ready = false; break; }
+    }
+    if (!ready) continue;
+
+    rank.busy_until = now + config_.timing.trfc;
+    rank.next_refresh_due += config_.timing.trefi;
+    for (auto& bank : rank.banks) bank.next_act = std::max(bank.next_act, rank.busy_until);
+    ++stats_.refreshes;
+    return true;
+  }
+  return false;
+}
+
+bool Channel::try_issue_cas(std::deque<Pending>& q, bool is_write, Cycle now) {
+  // FR-FCFS first pass: oldest row-hit whose timing is satisfied.
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (!cas_ready(*it, is_write, now)) continue;
+    if (config_.scheduler == SchedulerKind::kFcfs && it != q.begin()) break;
+    if (!it->needed_act) ++stats_.row_hits;  // served from the open row
+    do_cas(*it, is_write, now);
+    q.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Channel::try_issue_activate_or_precharge(std::deque<Pending>& q, Cycle now) {
+  const std::size_t scan_limit = config_.scheduler == SchedulerKind::kFcfs ? 1 : q.size();
+  for (std::size_t i = 0; i < scan_limit && i < q.size(); ++i) {
+    auto& p = q[i];
+    auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
+    auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+    if (now < rank.busy_until) continue;
+
+    if (!bank.active) {
+      if (now >= act_allowed_at(rank, p.coord)) {
+        if (!p.needed_act) ++stats_.row_misses;
+        p.needed_act = true;
+        do_activate(p.coord, now);
+        return true;
+      }
+    } else if (bank.open_row != p.coord.row) {
+      if (now >= bank.next_pre) {
+        if (!p.needed_act) ++stats_.row_conflicts;
+        p.needed_act = true;
+        do_precharge(p.coord, now);
+        return true;
+      }
+    }
+    // Only the oldest request may force bank-state changes beyond FR-FCFS's
+    // hit pass; scanning deeper risks starving the head request.
+    break;
+  }
+  return false;
+}
+
+void Channel::tick(Cycle now) {
+  // Retire finished read bursts.
+  for (std::size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].done <= now) {
+      completions_.push_back({in_flight_[i].id, now});
+      stats_.read_latency_sum += now - in_flight_[i].arrival;
+      ++stats_.read_count;
+      in_flight_[i] = in_flight_.back();
+      in_flight_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // Refresh has absolute priority (data integrity).
+  if (try_refresh(now)) return;
+
+  // Write-drain hysteresis: switch to writes above the high watermark or
+  // when there is nothing else to do; back to reads below the low watermark.
+  if (draining_writes_) {
+    if (write_q_.size() <= static_cast<std::size_t>(config_.write_drain_low_watermark) &&
+        !read_q_.empty()) {
+      draining_writes_ = false;
+    }
+  } else {
+    if (write_q_.size() >= static_cast<std::size_t>(config_.write_drain_high_watermark) ||
+        (read_q_.empty() && !write_q_.empty())) {
+      draining_writes_ = true;
+    }
+  }
+
+  auto& primary = draining_writes_ ? write_q_ : read_q_;
+  auto& secondary = draining_writes_ ? read_q_ : write_q_;
+  const bool primary_is_write = draining_writes_;
+
+  if (try_issue_cas(primary, primary_is_write, now)) return;
+  if (try_issue_activate_or_precharge(primary, now)) return;
+  // Opportunistic CAS for the other direction if the primary is stalled.
+  if (try_issue_cas(secondary, !primary_is_write, now)) return;
+}
+
+}  // namespace ntserv::dram

@@ -1,0 +1,22 @@
+#include "dram/ddr4_params.hpp"
+
+namespace ntserv::dram {
+
+Ddr4Timing Ddr4Timing::ddr4_1600() { return Ddr4Timing{}; }
+
+Ddr4Timing Ddr4Timing::lpddr4_1600() {
+  Ddr4Timing t;
+  // LPDDR4 trades core timing slack for the much lower standby power the
+  // power model captures; array timings are a few cycles looser.
+  t.cl = 14;
+  t.cwl = 12;
+  t.trcd = 15;
+  t.trp = 15;
+  t.tras = 34;
+  t.trc = 49;
+  t.tfaw = 32;
+  t.trfc = 224;
+  return t;
+}
+
+}  // namespace ntserv::dram

@@ -1,0 +1,135 @@
+#include "dse/dse.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ntserv::dse {
+
+const char* to_string(Scope s) {
+  switch (s) {
+    case Scope::kCores: return "cores";
+    case Scope::kSoc: return "SoC";
+    case Scope::kServer: return "server";
+  }
+  return "unknown";
+}
+
+double SweepResult::efficiency(std::size_t i, Scope s) const {
+  const auto& p = points.at(i);
+  switch (s) {
+    case Scope::kCores: return p.eff_cores;
+    case Scope::kSoc: return p.eff_soc;
+    case Scope::kServer: return p.eff_server;
+  }
+  return 0.0;
+}
+
+std::size_t SweepResult::optimal_index(Scope s) const {
+  NTSERV_EXPECTS(!points.empty(), "empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (efficiency(i, s) > efficiency(best, s)) best = i;
+  }
+  return best;
+}
+
+Hertz SweepResult::optimal_frequency(Scope s) const {
+  return points[optimal_index(s)].frequency;
+}
+
+std::vector<qos::UipsSample> SweepResult::uips_samples() const {
+  std::vector<qos::UipsSample> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back({p.frequency, p.uips});
+  return out;
+}
+
+double SweepResult::baseline_uips() const {
+  NTSERV_EXPECTS(!points.empty(), "empty sweep");
+  const auto it = std::max_element(
+      points.begin(), points.end(),
+      [](const auto& a, const auto& b) { return a.frequency < b.frequency; });
+  return it->uips;
+}
+
+SweepResult ExplorationDriver::sweep(const workload::WorkloadProfile& profile,
+                                     const std::vector<Hertz>& grid) const {
+  sim::ServerSimulator simulator{profile, platform_, config_};
+  SweepResult r;
+  r.workload = profile.name;
+  r.points = simulator.sweep(grid);
+  return r;
+}
+
+ConstrainedChoice choose_operating_point(const SweepResult& sweep,
+                                         const qos::QosTarget& target) {
+  const double base = sweep.baseline_uips();
+  const Hertz floor = qos::frequency_floor(target, sweep.uips_samples(), base);
+
+  ConstrainedChoice choice;
+  choice.qos_floor = floor;
+  bool found = false;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    if (sweep.points[i].frequency < floor) continue;
+    if (!found || sweep.efficiency(i, Scope::kServer) > sweep.efficiency(best, Scope::kServer)) {
+      best = i;
+      found = true;
+    }
+  }
+  NTSERV_EXPECTS(found, "no sweep point at or above the QoS floor");
+  choice.chosen_frequency = sweep.points[best].frequency;
+  choice.efficiency = sweep.efficiency(best, Scope::kServer);
+  choice.normalized_p99 =
+      qos::normalized_latency(target, sweep.points[best].uips, base);
+  return choice;
+}
+
+double energy_proportionality(const SweepResult& sweep, Scope scope) {
+  NTSERV_EXPECTS(sweep.points.size() >= 2, "need at least two sweep points");
+  // Identify the lowest- and highest-frequency points.
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    if (sweep.points[i].frequency < sweep.points[lo].frequency) lo = i;
+    if (sweep.points[i].frequency > sweep.points[hi].frequency) hi = i;
+  }
+  auto power_at = [&](std::size_t i) {
+    const auto& p = sweep.points[i].power;
+    switch (scope) {
+      case Scope::kCores: return p.cores().value();
+      case Scope::kSoc: return p.soc().value();
+      case Scope::kServer: return p.server().value();
+    }
+    return 0.0;
+  };
+  const double load_ratio = sweep.points[lo].uips / sweep.points[hi].uips;
+  const double power_ratio = power_at(lo) / power_at(hi);
+  // Perfect proportionality: power_ratio == load_ratio -> score 1.
+  // Completely flat power: power_ratio == 1 -> score 0.
+  if (power_ratio >= 1.0) return 0.0;
+  return (1.0 - power_ratio) / (1.0 - load_ratio);
+}
+
+double consolidation_headroom(const SweepResult& sweep, const qos::QosTarget& target) {
+  const double base = sweep.baseline_uips();
+  const Hertz floor = qos::frequency_floor(target, sweep.uips_samples(), base);
+  const std::size_t opt = sweep.optimal_index(Scope::kServer);
+  const Hertz f_opt = sweep.points[opt].frequency;
+  if (f_opt <= floor) return 1.0;
+
+  // UIPS at the floor, interpolated on the sweep grid.
+  const auto samples = sweep.uips_samples();
+  double uips_floor = samples.front().uips;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].frequency >= floor) {
+      const double t = (floor.value() - samples[i - 1].frequency.value()) /
+                       (samples[i].frequency.value() - samples[i - 1].frequency.value());
+      uips_floor = samples[i - 1].uips + t * (samples[i].uips - samples[i - 1].uips);
+      break;
+    }
+  }
+  return sweep.points[opt].uips / uips_floor;
+}
+
+}  // namespace ntserv::dse

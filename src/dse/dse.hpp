@@ -1,0 +1,88 @@
+// Design-space exploration driver (the paper's Sec. V analyses).
+//
+// Wraps ServerSimulator sweeps with the analyses the paper reports:
+//  * the efficiency-vs-frequency series of Figs. 3 and 4 at the three
+//    scopes (cores / SoC / server);
+//  * the optimal operating point per scope (lowest-f for cores-only,
+//    ~1 GHz for SoC, ~1.2 GHz for server);
+//  * QoS-constrained operating points (Fig. 2 floors intersected with the
+//    efficiency optimum);
+//  * an energy-proportionality score (Sec. V-C: how far the platform is
+//    from power proportional to load);
+//  * consolidation headroom in relaxed-QoS public clouds (Sec. V-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qos/qos.hpp"
+#include "sim/server_sim.hpp"
+
+namespace ntserv::dse {
+
+/// Which power scope divides UIPS in an efficiency series.
+enum class Scope { kCores, kSoc, kServer };
+
+[[nodiscard]] const char* to_string(Scope s);
+
+/// A full frequency sweep for one workload.
+struct SweepResult {
+  std::string workload;
+  std::vector<sim::OperatingPointResult> points;
+
+  [[nodiscard]] double efficiency(std::size_t i, Scope s) const;
+
+  /// Index of the most efficient point at the given scope.
+  [[nodiscard]] std::size_t optimal_index(Scope s) const;
+  [[nodiscard]] Hertz optimal_frequency(Scope s) const;
+
+  /// UIPS samples for the QoS floor solvers.
+  [[nodiscard]] std::vector<qos::UipsSample> uips_samples() const;
+
+  /// UIPS at the highest simulated frequency (the 2 GHz QoS baseline).
+  [[nodiscard]] double baseline_uips() const;
+};
+
+/// Runs sweeps over a set of workloads with a shared platform.
+class ExplorationDriver {
+ public:
+  ExplorationDriver(power::ServerPowerModel platform, sim::ServerSimConfig config)
+      : platform_(std::move(platform)), config_(config) {}
+
+  [[nodiscard]] SweepResult sweep(const workload::WorkloadProfile& profile,
+                                  const std::vector<Hertz>& grid) const;
+
+  [[nodiscard]] const power::ServerPowerModel& platform() const { return platform_; }
+  [[nodiscard]] const sim::ServerSimConfig& config() const { return config_; }
+
+ private:
+  power::ServerPowerModel platform_;
+  sim::ServerSimConfig config_;
+};
+
+/// QoS-constrained selection: the most server-efficient point that also
+/// meets the workload's QoS floor.
+struct ConstrainedChoice {
+  Hertz qos_floor;          ///< minimum frequency meeting QoS
+  Hertz chosen_frequency;   ///< efficiency optimum subject to the floor
+  double efficiency;        ///< UIPS/W(server) at the chosen point
+  double normalized_p99;    ///< Fig. 2 metric at the chosen point
+};
+
+[[nodiscard]] ConstrainedChoice choose_operating_point(const SweepResult& sweep,
+                                                       const qos::QosTarget& target);
+
+/// Energy-proportionality score in [0,1]: 1 - P(idle-equivalent)/P(peak),
+/// computed from a sweep as the ratio of the power at the lowest-f point
+/// to the power at the highest-f point, weighted by their throughputs
+/// (Barroso & Hölzle's EP notion reduced to the DVFS axis).
+[[nodiscard]] double energy_proportionality(const SweepResult& sweep, Scope scope);
+
+/// Consolidation headroom (Sec. V-C): with QoS met at `qos_floor` but the
+/// efficiency optimum at `f_opt` > floor, the spare throughput factor
+/// UIPS(f_opt)/UIPS(floor) bounds how much additional co-located load the
+/// server could absorb at the optimum without violating the original QoS.
+[[nodiscard]] double consolidation_headroom(const SweepResult& sweep,
+                                            const qos::QosTarget& target);
+
+}  // namespace ntserv::dse

@@ -1,0 +1,44 @@
+// Umbrella header: the full ntserv public API.
+//
+// ntserv is a modeling and simulation library for near-threshold server
+// processors, reproducing Pahlevan et al., "Towards Near-Threshold Server
+// Processors" (DATE 2016). See README.md for a tour and DESIGN.md for the
+// system inventory.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+#include "tech/body_bias.hpp"
+#include "tech/technology.hpp"
+
+#include "power/cacti_lite.hpp"
+#include "power/dram_power.hpp"
+#include "power/server_power.hpp"
+#include "power/uncore_power.hpp"
+
+#include "dram/dram_system.hpp"
+
+#include "cache/cluster_memory.hpp"
+
+#include "cpu/ooo_core.hpp"
+
+#include "workload/bitbrains.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+#include "sim/cluster.hpp"
+#include "sim/sampling.hpp"
+#include "sim/server_sim.hpp"
+
+#include "qos/qos.hpp"
+
+#include "dse/dse.hpp"
+
+#include "thermal/thermal.hpp"
+
+#include "pm/power_manager.hpp"

@@ -1,0 +1,42 @@
+#include "power/cacti_lite.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::power {
+
+CactiLiteModel::CactiLiteModel(CactiLiteParams params) : params_(params) {
+  NTSERV_EXPECTS(params_.capacity_bytes > 0, "LLC capacity must be positive");
+  NTSERV_EXPECTS(params_.banks > 0, "LLC needs at least one bank");
+  NTSERV_EXPECTS(params_.leakage_reduction_factor > 0.0 &&
+                     params_.leakage_reduction_factor <= 1.0,
+                 "leakage reduction factor is a remaining-fraction in (0,1]");
+}
+
+Watt CactiLiteModel::leakage_power() const {
+  const double bits = static_cast<double>(params_.capacity_bytes) * 8.0;
+  const double cell = bits * params_.cell_leak_w_per_bit;
+  const double total = cell * (1.0 + params_.peripheral_leak_fraction);
+  return Watt{total * params_.leakage_reduction_factor};
+}
+
+Watt CactiLiteModel::dynamic_power(double reads_per_s, double writes_per_s,
+                                   double probes_per_s) const {
+  NTSERV_EXPECTS(reads_per_s >= 0.0 && writes_per_s >= 0.0 && probes_per_s >= 0.0,
+                 "access rates must be non-negative");
+  const Joule per_second = params_.read_energy * reads_per_s +
+                           params_.write_energy * writes_per_s +
+                           params_.tag_energy * probes_per_s;
+  return Watt{per_second.value()};
+}
+
+Watt CactiLiteModel::total_power(double reads_per_s, double writes_per_s,
+                                 double probes_per_s) const {
+  return leakage_power() + dynamic_power(reads_per_s, writes_per_s, probes_per_s);
+}
+
+Watt CactiLiteModel::leakage_per_mb() const {
+  const double mb = static_cast<double>(params_.capacity_bytes) / (1024.0 * 1024.0);
+  return Watt{leakage_power().value() / mb};
+}
+
+}  // namespace ntserv::power

@@ -1,0 +1,51 @@
+#include "power/dram_power.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::power {
+
+DramEnergyTable DramEnergyTable::ddr4_1600() { return DramEnergyTable{}; }
+
+DramEnergyTable DramEnergyTable::lpddr4_1600() {
+  DramEnergyTable t;
+  t.idle_per_cycle = Joule{0.0146e-9};  // deep standby + no DLL + lower IDD2N
+  t.read_per_byte = Joule{0.197e-9};
+  t.write_per_byte = Joule{0.191e-9};
+  return t;
+}
+
+DramPowerModel::DramPowerModel(DramPowerParams params) : params_(params) {
+  NTSERV_EXPECTS(params_.channels > 0, "need at least one memory channel");
+  NTSERV_EXPECTS(params_.ranks_per_channel > 0, "need at least one rank per channel");
+  NTSERV_EXPECTS(params_.interface_clock.value() > 0.0, "interface clock must be positive");
+}
+
+int DramPowerModel::total_ranks() const {
+  return params_.channels * params_.ranks_per_channel;
+}
+
+Watt DramPowerModel::background_power() const {
+  const double per_rank =
+      params_.energy.idle_per_cycle.value() * params_.interface_clock.value();
+  return Watt{per_rank * static_cast<double>(total_ranks())};
+}
+
+Watt DramPowerModel::dynamic_power(BytesPerSecond read_bw, BytesPerSecond write_bw) const {
+  NTSERV_EXPECTS(read_bw >= 0.0 && write_bw >= 0.0, "bandwidth must be non-negative");
+  return Watt{params_.energy.read_per_byte.value() * read_bw +
+              params_.energy.write_per_byte.value() * write_bw};
+}
+
+Watt DramPowerModel::total_power(BytesPerSecond read_bw, BytesPerSecond write_bw) const {
+  return background_power() + dynamic_power(read_bw, write_bw);
+}
+
+Joule DramPowerModel::read_energy(std::uint64_t bytes) const {
+  return params_.energy.read_per_byte * static_cast<double>(bytes);
+}
+
+Joule DramPowerModel::write_energy(std::uint64_t bytes) const {
+  return params_.energy.write_per_byte * static_cast<double>(bytes);
+}
+
+}  // namespace ntserv::power

@@ -1,0 +1,75 @@
+// DRAM power: Micron-methodology model reduced to per-rank energies.
+//
+// The paper estimates DDR4 background power and per-operation energy from
+// Micron's 4Gbit DDR4 datasheet and system-power calculator, and publishes
+// the reduction as Table I (per 8x 4Gbit chip rank, DDR4-1600):
+//
+//     E_IDLE  = 0.0728 nJ/cycle      (background, at the 1.6 GHz data rate)
+//     E_READ  = 0.2566 nJ/byte
+//     E_WRITE = 0.2495 nJ/byte
+//
+// Total power scales these with the number of ranks in the system and the
+// application's achieved read/write bandwidth (Sec. II-C3). Background power
+// is constant w.r.t. the core DVFS point; only the dynamic part falls as
+// slower cores issue fewer references per unit time.
+//
+// An LPDDR4 flavor implements the paper's Sec. V-C direction (mobile DRAM
+// with far lower background power, after Malladi et al., ISCA'12).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace ntserv::power {
+
+/// Per-rank DRAM energy coefficients (one rank = 8x 4Gbit chips here).
+struct DramEnergyTable {
+  /// Energy burned per interface clock cycle with the rank idle/standby.
+  Joule idle_per_cycle{0.0728e-9};
+  /// Energy per byte read (activate+IO amortized, Micron calculator).
+  Joule read_per_byte{0.2566e-9};
+  /// Energy per byte written.
+  Joule write_per_byte{0.2495e-9};
+
+  /// DDR4-1600 coefficients of the paper's Table I.
+  static DramEnergyTable ddr4_1600();
+  /// LPDDR4 mobile-DRAM coefficients: ~5x lower background power and
+  /// moderately lower transfer energy (Malladi et al. direction).
+  static DramEnergyTable lpddr4_1600();
+};
+
+struct DramPowerParams {
+  DramEnergyTable energy = DramEnergyTable::ddr4_1600();
+  /// Interface clock the idle energy is quoted against (paper: 1.6 GHz).
+  Hertz interface_clock{1.6e9};
+  /// Memory channels on the processor (paper: 4).
+  int channels = 4;
+  /// Ranks per channel (paper: 4).
+  int ranks_per_channel = 4;
+};
+
+/// Server-level DRAM power model.
+class DramPowerModel {
+ public:
+  explicit DramPowerModel(DramPowerParams params = {});
+
+  [[nodiscard]] const DramPowerParams& params() const { return params_; }
+  [[nodiscard]] int total_ranks() const;
+
+  /// Constant background power of all ranks.
+  [[nodiscard]] Watt background_power() const;
+
+  /// Dynamic power given the system's achieved read/write bandwidth.
+  [[nodiscard]] Watt dynamic_power(BytesPerSecond read_bw, BytesPerSecond write_bw) const;
+
+  /// Total memory-subsystem power.
+  [[nodiscard]] Watt total_power(BytesPerSecond read_bw, BytesPerSecond write_bw) const;
+
+  /// Energy of one read/write of `bytes` bytes (per-operation view).
+  [[nodiscard]] Joule read_energy(std::uint64_t bytes) const;
+  [[nodiscard]] Joule write_energy(std::uint64_t bytes) const;
+
+ private:
+  DramPowerParams params_;
+};
+
+}  // namespace ntserv::power

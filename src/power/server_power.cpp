@@ -1,0 +1,78 @@
+#include "power/server_power.hpp"
+
+#include "common/error.hpp"
+#include "tech/body_bias.hpp"
+
+namespace ntserv::power {
+
+ServerPowerModel::ServerPowerModel(tech::TechnologyModel tech, ChipConfig chip,
+                                   CactiLiteParams llc_per_cluster,
+                                   CrossbarPowerParams xbar_per_cluster,
+                                   McPatLiteIoParams io, DramPowerParams dram)
+    : tech_(std::move(tech)),
+      chip_(chip),
+      llc_(llc_per_cluster),
+      xbar_(xbar_per_cluster),
+      io_(io),
+      dram_(dram) {
+  NTSERV_EXPECTS(chip_.clusters > 0 && chip_.cores_per_cluster > 0,
+                 "chip must have at least one cluster and core");
+}
+
+PowerBreakdown ServerPowerModel::evaluate(Hertz f, const ActivityVector& a) const {
+  NTSERV_EXPECTS(tech_.feasible(f), "core frequency infeasible for this technology");
+  const Volt vdd = tech_.voltage_for(f);
+  const double n_cores = static_cast<double>(chip_.total_cores());
+  const double n_clusters = static_cast<double>(chip_.clusters);
+
+  PowerBreakdown b{};
+  b.core_dynamic = tech_.dynamic_power(vdd, f, a.core_activity) * n_cores;
+  b.core_leakage = tech_.leakage_power(vdd) * n_cores;
+  // Per-cluster LLC/crossbar models take chip-aggregate rates; split evenly
+  // (clusters are homogeneous and share no state, paper Sec. II-B).
+  b.llc = llc_.total_power(a.llc_reads_per_s / n_clusters, a.llc_writes_per_s / n_clusters,
+                           a.llc_probes_per_s / n_clusters) *
+          n_clusters;
+  b.interconnect = xbar_.total_power(a.xbar_flits_per_s / n_clusters) * n_clusters;
+  b.io = io_.total_power();
+  b.dram_background = dram_.background_power();
+  b.dram_dynamic = dram_.dynamic_power(a.dram_read_bw, a.dram_write_bw);
+  return b;
+}
+
+PowerBreakdown ServerPowerModel::evaluate_sleep(Volt retention_vdd, Volt rbb) const {
+  const double n_cores = static_cast<double>(chip_.total_cores());
+  const double n_clusters = static_cast<double>(chip_.clusters);
+
+  PowerBreakdown b{};
+  b.core_dynamic = Watt{0.0};
+  // Sleep leakage needs a flavor with RBB range; if the platform flavor is
+  // flip-well (FBB-only), model sleep on the conventional-well variant as
+  // the paper's Sec. II-A does.
+  if (rbb >= tech_.params().body_bias_min) {
+    b.core_leakage = tech::sleep_leakage_power(tech_, retention_vdd, rbb) * n_cores;
+  } else {
+    const tech::TechnologyModel cw{tech::TechnologyParams::fdsoi28_cw()};
+    b.core_leakage = tech::sleep_leakage_power(cw, retention_vdd, rbb) * n_cores;
+  }
+  b.llc = llc_.leakage_power() * n_clusters;
+  b.interconnect = xbar_.static_power() * n_clusters;
+  b.io = io_.total_power();
+  b.dram_background = dram_.background_power();
+  b.dram_dynamic = Watt{0.0};
+  return b;
+}
+
+ServerPowerModel ServerPowerModel::with_dram(DramPowerParams dram) const {
+  ServerPowerModel copy = *this;
+  copy.dram_ = DramPowerModel{dram};
+  return copy;
+}
+
+ServerPowerModel ServerPowerModel::with_tech(tech::TechnologyModel tech) const {
+  ServerPowerModel copy = *this;
+  copy.tech_ = std::move(tech);
+  return copy;
+}
+
+}  // namespace ntserv::power

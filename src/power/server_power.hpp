@@ -1,0 +1,97 @@
+// Whole-server power integration at the paper's three efficiency scopes.
+//
+// Fig. 3/4 divide chip-level UIPS by the power of (a) the cores alone,
+// (b) the SoC (cores + per-cluster LLC & crossbar + chip I/O) and (c) the
+// server (SoC + DRAM). ServerPowerModel assembles the component models into
+// one query: given the core DVFS point and the measured activity/bandwidth
+// of a run, produce a PowerBreakdown exposing all three scopes.
+#pragma once
+
+#include "common/units.hpp"
+#include "power/cacti_lite.hpp"
+#include "power/dram_power.hpp"
+#include "power/uncore_power.hpp"
+#include "tech/technology.hpp"
+
+namespace ntserv::power {
+
+/// Physical organization of the chip (paper Sec. II-B / IV).
+struct ChipConfig {
+  int clusters = 9;
+  int cores_per_cluster = 4;
+  /// Die area (mm^2) — used for the area-budget check and bias transition
+  /// times, not for power directly.
+  double die_area_mm2 = 300.0;
+  /// Chip power budget (W) the paper designs to.
+  Watt power_budget{100.0};
+
+  [[nodiscard]] int total_cores() const { return clusters * cores_per_cluster; }
+};
+
+/// Observed activity of one run, used to scale the dynamic components.
+struct ActivityVector {
+  /// Core switching-activity factor in [0,1] (1 = every stage busy).
+  double core_activity = 1.0;
+  /// LLC accesses per second, aggregated over the chip.
+  double llc_reads_per_s = 0.0;
+  double llc_writes_per_s = 0.0;
+  double llc_probes_per_s = 0.0;
+  /// Crossbar flit traversals per second, aggregated over the chip.
+  double xbar_flits_per_s = 0.0;
+  /// DRAM bandwidth achieved by the chip.
+  BytesPerSecond dram_read_bw = 0.0;
+  BytesPerSecond dram_write_bw = 0.0;
+};
+
+/// Power decomposition of one operating point.
+struct PowerBreakdown {
+  Watt core_dynamic;
+  Watt core_leakage;
+  Watt llc;
+  Watt interconnect;
+  Watt io;
+  Watt dram_background;
+  Watt dram_dynamic;
+
+  [[nodiscard]] Watt cores() const { return core_dynamic + core_leakage; }
+  [[nodiscard]] Watt uncore() const { return llc + interconnect + io; }
+  [[nodiscard]] Watt soc() const { return cores() + uncore(); }
+  [[nodiscard]] Watt memory() const { return dram_background + dram_dynamic; }
+  [[nodiscard]] Watt server() const { return soc() + memory(); }
+};
+
+/// Assembled server power model (paper Sec. II-C).
+class ServerPowerModel {
+ public:
+  ServerPowerModel(tech::TechnologyModel tech, ChipConfig chip,
+                   CactiLiteParams llc_per_cluster = {},
+                   CrossbarPowerParams xbar_per_cluster = {},
+                   McPatLiteIoParams io = {}, DramPowerParams dram = {});
+
+  [[nodiscard]] const tech::TechnologyModel& tech() const { return tech_; }
+  [[nodiscard]] const ChipConfig& chip() const { return chip_; }
+  [[nodiscard]] const DramPowerModel& dram() const { return dram_; }
+  [[nodiscard]] const CactiLiteModel& llc() const { return llc_; }
+
+  /// Power breakdown with cores at frequency `f` and the given activity.
+  [[nodiscard]] PowerBreakdown evaluate(Hertz f, const ActivityVector& activity) const;
+
+  /// Breakdown with all cores in RBB state-retentive sleep (uncore/DRAM
+  /// still powered): the deep-idle floor of the platform.
+  [[nodiscard]] PowerBreakdown evaluate_sleep(Volt retention_vdd, Volt rbb) const;
+
+  /// Swap the DRAM model (LPDDR4 ablation) keeping everything else.
+  [[nodiscard]] ServerPowerModel with_dram(DramPowerParams dram) const;
+  /// Swap the technology flavor keeping the platform.
+  [[nodiscard]] ServerPowerModel with_tech(tech::TechnologyModel tech) const;
+
+ private:
+  tech::TechnologyModel tech_;
+  ChipConfig chip_;
+  CactiLiteModel llc_;
+  CrossbarPowerModel xbar_;
+  McPatLiteIoModel io_;
+  DramPowerModel dram_;
+};
+
+}  // namespace ntserv::power

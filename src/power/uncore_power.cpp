@@ -1,0 +1,41 @@
+#include "power/uncore_power.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::power {
+
+CrossbarPowerModel::CrossbarPowerModel(CrossbarPowerParams params) : params_(params) {
+  NTSERV_EXPECTS(params_.core_ports > 0 && params_.bank_ports > 0,
+                 "crossbar needs at least one port on each side");
+}
+
+Watt CrossbarPowerModel::static_power() const {
+  const double pairs = static_cast<double>(params_.core_ports) *
+                       static_cast<double>(params_.bank_ports);
+  const double ports = static_cast<double>(params_.core_ports + params_.bank_ports);
+  return Watt{pairs * params_.fabric_static_w_per_portpair +
+              ports * params_.link_static_w_per_port};
+}
+
+Watt CrossbarPowerModel::dynamic_power(double flits_per_s) const {
+  NTSERV_EXPECTS(flits_per_s >= 0.0, "flit rate must be non-negative");
+  return Watt{params_.flit_energy.value() * flits_per_s};
+}
+
+Watt CrossbarPowerModel::total_power(double flits_per_s) const {
+  return static_power() + dynamic_power(flits_per_s);
+}
+
+McPatLiteIoModel::McPatLiteIoModel(McPatLiteIoParams params) : params_(params) {
+  NTSERV_EXPECTS(params_.memory_channels >= 0 && params_.pcie_lanes >= 0 && params_.nius >= 0,
+                 "I/O block counts must be non-negative");
+}
+
+Watt McPatLiteIoModel::total_power() const {
+  return Watt{static_cast<double>(params_.memory_channels) * params_.w_per_memory_channel +
+              static_cast<double>(params_.pcie_lanes) * params_.w_per_pcie_lane +
+              static_cast<double>(params_.nius) * params_.w_per_niu +
+              params_.misc_w};
+}
+
+}  // namespace ntserv::power

@@ -1,0 +1,73 @@
+// Uncore power: cluster crossbar and chip-edge I/O peripherals.
+//
+// The paper models the per-cluster cache-coherent crossbar after prior
+// on-chip-network work (~25 mW per crossbar) and the chip's I/O peripherals
+// with McPAT following a Sun UltraSPARC T2 configuration (~5 W total for the
+// die). Both live on the uncore voltage/clock domain: their power does not
+// track the core DVFS point (Sec. II-C2).
+//
+// McPatLiteIoModel keeps McPAT's block structure (memory controllers, PCIe,
+// NIU, misc system interface) so the constant is auditable and the LPDDR4 /
+// channel-count ablations can re-derive it, while calibrating the default
+// to the paper's 5 W.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace ntserv::power {
+
+struct CrossbarPowerParams {
+  /// Number of requester ports (cores) on the crossbar.
+  int core_ports = 4;
+  /// Number of responder ports (LLC banks).
+  int bank_ports = 4;
+  /// Static power per port-pair switch fabric (W).
+  double fabric_static_w_per_portpair = 1.2e-3;
+  /// Link + arbiter static power per port (W).
+  double link_static_w_per_port = 0.7e-3;
+  /// Energy per 64B flit traversal (J).
+  Joule flit_energy{18e-12};
+};
+
+/// Cluster crossbar power; ~25 mW static for the default 4x4 configuration.
+class CrossbarPowerModel {
+ public:
+  explicit CrossbarPowerModel(CrossbarPowerParams params = {});
+
+  [[nodiscard]] const CrossbarPowerParams& params() const { return params_; }
+  [[nodiscard]] Watt static_power() const;
+  [[nodiscard]] Watt dynamic_power(double flits_per_s) const;
+  [[nodiscard]] Watt total_power(double flits_per_s) const;
+
+ private:
+  CrossbarPowerParams params_;
+};
+
+struct McPatLiteIoParams {
+  /// DDR PHY + memory-controller front-ends.
+  int memory_channels = 4;
+  double w_per_memory_channel = 0.55;
+  /// PCIe root complexes (T2-class: 1x8 lanes).
+  int pcie_lanes = 8;
+  double w_per_pcie_lane = 0.12;
+  /// Network interface units (T2 integrates 2x 10GbE).
+  int nius = 2;
+  double w_per_niu = 0.50;
+  /// Misc system interface (clocking, JTAG, SoC glue).
+  double misc_w = 0.84;
+};
+
+/// Chip-edge I/O peripheral power (McPAT, UltraSPARC T2 config): ~5 W.
+class McPatLiteIoModel {
+ public:
+  explicit McPatLiteIoModel(McPatLiteIoParams params = {});
+
+  [[nodiscard]] const McPatLiteIoParams& params() const { return params_; }
+  /// I/O peripherals burn near-constant power regardless of core state.
+  [[nodiscard]] Watt total_power() const;
+
+ private:
+  McPatLiteIoParams params_;
+};
+
+}  // namespace ntserv::power

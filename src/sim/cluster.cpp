@@ -1,0 +1,80 @@
+#include "sim/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::sim {
+
+Cluster::Cluster(ClusterConfig config, std::vector<std::unique_ptr<cpu::UopSource>> sources)
+    : config_(std::move(config)),
+      sources_(std::move(sources)),
+      memory_(config_.hierarchy, config_.dram, config_.core_clock) {
+  NTSERV_EXPECTS(static_cast<int>(sources_.size()) == config_.hierarchy.cores,
+                 "need exactly one uop source per core");
+  for (int c = 0; c < config_.hierarchy.cores; ++c) {
+    cores_.push_back(std::make_unique<cpu::OooCore>(
+        config_.core, static_cast<CoreId>(c), memory_, *sources_[static_cast<std::size_t>(c)]));
+  }
+}
+
+void Cluster::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  for (; now_ < end; ++now_) {
+    memory_.tick(now_);
+    for (const auto& done : memory_.drain_completions()) {
+      cores_[done.core]->on_miss_completion(done.user_tag, done.done);
+    }
+    for (auto& core : cores_) core->tick(now_);
+  }
+}
+
+std::uint64_t Cluster::total_committed() const {
+  std::uint64_t n = 0;
+  for (const auto& core : cores_) n += core->stats().committed_total;
+  return n;
+}
+
+void Cluster::run_until_committed(std::uint64_t instructions, Cycle max_cycles) {
+  const std::uint64_t target = total_committed() + instructions;
+  const Cycle deadline = now_ + max_cycles;
+  while (total_committed() < target && now_ < deadline) {
+    run(std::min<Cycle>(10'000, deadline - now_));
+  }
+}
+
+void Cluster::reset_stats() {
+  for (auto& core : cores_) core->reset_stats();
+  memory_.reset_stats();
+  stats_epoch_ = now_;
+  dram_now_epoch_ = memory_.dram().now();
+}
+
+ClusterMetrics Cluster::metrics() const {
+  ClusterMetrics m;
+  m.cycles = now_ - stats_epoch_;
+  std::uint64_t committed = 0;
+  std::uint64_t branches = 0, mispredicts = 0;
+  for (const auto& core : cores_) {
+    const auto& s = core->stats();
+    m.uipc += s.uipc();
+    m.ipc += s.ipc();
+    m.issue_utilization += s.issue_utilization(config_.core.width) /
+                           static_cast<double>(cores_.size());
+    committed += s.committed_total;
+    branches += s.branches;
+    mispredicts += s.branch_mispredicts;
+  }
+  m.memory = memory_.stats();
+  m.dram = memory_.dram().stats();
+  m.dram_cycles = memory_.dram().now() - dram_now_epoch_;
+  if (committed > 0) {
+    const double per_kilo = 1000.0 / static_cast<double>(committed);
+    m.l1i_mpki = static_cast<double>(m.memory.l1i_misses) * per_kilo;
+    m.l1d_mpki = static_cast<double>(m.memory.l1d_misses) * per_kilo;
+    m.llc_mpki = static_cast<double>(m.memory.llc_misses) * per_kilo;
+    m.branch_mpki = static_cast<double>(mispredicts) * per_kilo;
+  }
+  (void)branches;
+  return m;
+}
+
+}  // namespace ntserv::sim

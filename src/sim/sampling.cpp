@@ -1,0 +1,37 @@
+#include "sim/sampling.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::sim {
+
+SampleResult SmartsSampler::run(Cluster& cluster) const {
+  NTSERV_EXPECTS(config_.measure > 0, "measurement window must be positive");
+  NTSERV_EXPECTS(config_.min_samples >= 1 && config_.max_samples >= config_.min_samples,
+                 "sample bounds inconsistent");
+
+  cluster.run_until_committed(config_.warm_instructions, config_.warm_max_cycles);
+
+  SampleResult result;
+  for (int s = 0; s < config_.max_samples; ++s) {
+    cluster.run(config_.warmup);
+    cluster.reset_stats();
+    cluster.run(config_.measure);
+    const ClusterMetrics window = cluster.metrics();
+    result.per_sample.add(window.uipc);
+    result.last_window = window;
+    ++result.samples;
+
+    if (result.samples >= config_.min_samples) {
+      const double rel = result.per_sample.relative_error(config_.z);
+      if (rel <= config_.target_rel_error) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.uipc_mean = result.per_sample.mean();
+  result.uipc_rel_error = result.per_sample.relative_error(config_.z);
+  return result;
+}
+
+}  // namespace ntserv::sim

@@ -1,0 +1,60 @@
+#include "tech/body_bias.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ntserv::tech {
+
+Second bias_transition_time(double area_mm2, Volt from, Volt to) {
+  NTSERV_EXPECTS(area_mm2 > 0.0, "well area must be positive");
+  // 5 mm^2 at 1.3 V swing -> 0.9 us (just under the paper's 1 us bound).
+  constexpr double kRefAreaMm2 = 5.0;
+  constexpr double kRefSwingV = 1.3;
+  constexpr double kRefTimeS = 0.9e-6;
+  const double swing = std::abs(to.value() - from.value());
+  return Second{kRefTimeS * (area_mm2 / kRefAreaMm2) * (swing / kRefSwingV)};
+}
+
+Second dvfs_transition_time(Volt from, Volt to) {
+  constexpr double kSlewVoltsPerSecond = 10e-3 / 1e-6;  // 10 mV/us
+  return Second{std::abs(to.value() - from.value()) / kSlewVoltsPerSecond};
+}
+
+BiasChoice optimal_forward_bias(const TechnologyModel& base, Hertz f, double activity,
+                                int grid_points) {
+  NTSERV_EXPECTS(grid_points >= 2, "bias search needs at least two grid points");
+  const Volt lo = std::max(Volt{0.0}, base.params().body_bias_min);
+  const Volt hi = base.params().body_bias_max;
+
+  BiasChoice best{Volt{0.0}, Volt{0.0}, Watt{0.0}};
+  bool found = false;
+  for (int i = 0; i < grid_points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    const Volt vbb{lo.value() + t * (hi.value() - lo.value())};
+    const TechnologyModel m = base.with_body_bias(vbb);
+    if (!m.feasible(f)) continue;
+    const Volt vdd = m.voltage_for(f);
+    const Watt p = m.dynamic_power(vdd, f, activity) + m.leakage_power(vdd);
+    if (!found || p < best.power) {
+      best = {vbb, vdd, p};
+      found = true;
+    }
+  }
+  NTSERV_EXPECTS(found, "frequency unreachable at any supported body bias");
+  return best;
+}
+
+Watt sleep_leakage_power(const TechnologyModel& base, Volt v_ret, Volt rbb) {
+  NTSERV_EXPECTS(rbb.value() <= 0.0, "sleep uses reverse (non-positive) body bias");
+  const TechnologyModel m = base.with_body_bias(rbb);
+  return m.leakage_power(v_ret);
+}
+
+double rbb_leakage_reduction(const TechnologyModel& base, Volt v_ret, Volt rbb) {
+  const Watt at_zero = base.with_body_bias(Volt{0.0}).leakage_power(v_ret);
+  const Watt at_rbb = sleep_leakage_power(base, v_ret, rbb);
+  return at_zero.value() / at_rbb.value();
+}
+
+}  // namespace ntserv::tech

@@ -1,0 +1,50 @@
+// Body-bias management: boost, sleep and energy-optimal bias selection.
+//
+// Models the three body-bias use cases the paper describes (Sec. II-A):
+//   1. energy-optimal operation — pick the FBB that minimizes power for a
+//      given frequency target (trading Vdd reduction against leakage);
+//   2. computation spikes — temporary FBB boost with fast (<1 us for a
+//      5 mm^2 core at 1.3 V swing) transitions, much faster than a DVFS
+//      voltage ramp;
+//   3. state-retentive sleep — RBB cuts leakage by ~10x per -1 V while
+//      retaining state, unlike power gating.
+#pragma once
+
+#include "common/units.hpp"
+#include "tech/technology.hpp"
+
+namespace ntserv::tech {
+
+/// Result of an energy-optimal body-bias search.
+struct BiasChoice {
+  Volt body_bias;
+  Volt vdd;
+  Watt power;
+};
+
+/// Coarse area- and swing-proportional body-bias network settling time.
+/// Calibrated to the paper's datum: a 5 mm^2 Cortex-A9 swings 0 -> 1.3 V in
+/// under 1 us. The bias network is a distributed RC charged by a shared
+/// driver, so settle time grows with well area and voltage swing.
+[[nodiscard]] Second bias_transition_time(double area_mm2, Volt from, Volt to);
+
+/// DVFS voltage-ramp time for comparison with body-bias boost (a typical
+/// off-chip regulator slews ~10 mV/us).
+[[nodiscard]] Second dvfs_transition_time(Volt from, Volt to);
+
+/// Search the technology's supported forward-bias range for the bias that
+/// minimizes total core power while sustaining `f` at activity `activity`.
+/// Returns the zero-bias point when no forward bias helps.
+[[nodiscard]] BiasChoice optimal_forward_bias(const TechnologyModel& base, Hertz f,
+                                              double activity = 1.0,
+                                              int grid_points = 61);
+
+/// Leakage power of one core in state-retentive RBB sleep at retention
+/// voltage `v_ret` with reverse bias `rbb` (negative).
+[[nodiscard]] Watt sleep_leakage_power(const TechnologyModel& base, Volt v_ret, Volt rbb);
+
+/// Leakage-reduction factor achieved by reverse bias `rbb` (negative volts)
+/// relative to zero bias at the same retention voltage.
+[[nodiscard]] double rbb_leakage_reduction(const TechnologyModel& base, Volt v_ret, Volt rbb);
+
+}  // namespace ntserv::tech

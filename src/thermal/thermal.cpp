@@ -1,0 +1,88 @@
+#include "thermal/thermal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ntserv::thermal {
+
+ThermalModel::ThermalModel(ThermalParams params, tech::TechnologyModel tech,
+                           power::ChipConfig chip)
+    : params_(params), tech_(std::move(tech)), chip_(chip) {
+  NTSERV_EXPECTS(params_.r_junction_heatsink > 0.0 && params_.r_heatsink_ambient > 0.0,
+                 "thermal resistances must be positive");
+  NTSERV_EXPECTS(params_.t_junction_max > params_.ambient,
+                 "junction limit must exceed ambient");
+}
+
+Watt ThermalModel::leakage_at(Volt vdd, Kelvin t) const {
+  // Two temperature effects on subthreshold leakage:
+  //  1. Vth drops ~1 mV/K  -> exp(+dVth / (n*vT));
+  //  2. the slope n*vT itself scales with T (vT = kT/q).
+  const double t_ref = params_.t_reference.value();
+  const double nvt_ref = tech_.params().subthreshold_sw.value();
+  const double nvt = nvt_ref * t.value() / t_ref;
+  const double vth_shift = params_.vth_temp_slope * (t.value() - t_ref);
+
+  const double vth_eff = tech_.vth_eff().value() - vth_shift;
+  const double arg = (tech_.params().dibl * vdd.value() - vth_eff) / nvt;
+  const double current = tech_.params().leak_i0_amps * std::exp(arg);
+  return Watt{current * vdd.value()};
+}
+
+Kelvin ThermalModel::junction_for(Watt chip_power) const {
+  const double r_total = params_.r_junction_heatsink + params_.r_heatsink_ambient;
+  return Kelvin{params_.ambient.value() + chip_power.value() * r_total};
+}
+
+ThermalOperatingPoint ThermalModel::solve(Hertz f, double activity, int active_cores,
+                                          Watt uncore_power) const {
+  NTSERV_EXPECTS(active_cores >= 0 && active_cores <= chip_.total_cores(),
+                 "active core count out of range");
+  NTSERV_EXPECTS(tech_.feasible(f), "frequency infeasible for the technology");
+  const Volt vdd = tech_.voltage_for(f);
+  const double n = static_cast<double>(active_cores);
+  const Watt dynamic = tech_.dynamic_power(vdd, f, activity) * n;
+
+  // Fixed point: T -> leakage(T) -> power -> T. The loop either converges
+  // (normal) or runs away (thermal runaway); we cap the iterations and
+  // report the state.
+  ThermalOperatingPoint result;
+  Kelvin t = params_.ambient;
+  for (int i = 0; i < 100; ++i) {
+    const Watt leak = leakage_at(vdd, t) * n;
+    const Watt total = dynamic + leak + uncore_power;
+    const Kelvin t_next = junction_for(total);
+    ++result.iterations;
+    if (std::abs(t_next.value() - t.value()) < 0.01) {
+      result.junction = t_next;
+      result.chip_power = total;
+      result.leakage_power = leak;
+      result.within_limit = t_next <= params_.t_junction_max;
+      return result;
+    }
+    // Damped update for stability near runaway.
+    t = Kelvin{0.5 * (t.value() + t_next.value())};
+  }
+  // Did not converge: thermal runaway at this point.
+  result.junction = Kelvin{1e9};
+  result.chip_power = Watt{1e9};
+  result.leakage_power = Watt{1e9};
+  result.within_limit = false;
+  return result;
+}
+
+int ThermalModel::dark_silicon_cores(Hertz f, double activity, Watt uncore_power,
+                                     Watt power_budget) const {
+  // Monotone in core count: binary search the largest feasible count.
+  int lo = 0, hi = chip_.total_cores();
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    const auto op = solve(f, activity, mid, uncore_power);
+    const bool ok = op.within_limit && op.chip_power <= power_budget;
+    if (ok) lo = mid; else hi = mid - 1;
+  }
+  return lo;
+}
+
+}  // namespace ntserv::thermal

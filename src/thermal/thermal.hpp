@@ -1,0 +1,82 @@
+// Thermal model: steady-state RC network with leakage-temperature feedback,
+// TDP verification and dark-silicon analysis.
+//
+// The paper's Sec. V-B1 argues that maximum efficiency at the low-power NTC
+// operating point "reduces the overall system TDP — easing the thermal
+// design and dark-silicon effects", and Sec. V-C that at near-threshold the
+// server is energy-bound rather than power/thermal-bound. This module makes
+// those statements quantitative:
+//
+//  * a two-node steady-state thermal network (junction -> case/heatsink ->
+//    ambient) computes the die temperature from chip power;
+//  * subthreshold leakage rises exponentially with temperature (the n*vT
+//    slope scales with T and Vth falls ~1 mV/K), so power and temperature
+//    are solved by fixed-point iteration (electrothermal feedback — the
+//    classic positive-feedback loop that bounds air-cooled TDP);
+//  * dark_silicon_cores() reports how many of the chip's cores may run at
+//    a given operating point inside the power budget and the thermal limit.
+#pragma once
+
+#include "common/units.hpp"
+#include "power/server_power.hpp"
+#include "tech/technology.hpp"
+
+namespace ntserv::thermal {
+
+struct ThermalParams {
+  /// Junction-to-heatsink thermal resistance (K/W) of the package.
+  double r_junction_heatsink = 0.12;
+  /// Heatsink-to-ambient resistance (K/W): 1U server air cooling.
+  double r_heatsink_ambient = 0.25;
+  Kelvin ambient{celsius(30.0).value()};
+  /// Maximum allowed junction temperature.
+  Kelvin t_junction_max{celsius(95.0).value()};
+  /// Leakage-temperature sensitivity: Vth drop per Kelvin (V/K).
+  double vth_temp_slope = 1.0e-3;
+  /// Reference temperature of the technology calibration (85 C ambient-
+  /// server junction, matching the tech-model leakage constants).
+  Kelvin t_reference{celsius(85.0).value()};
+};
+
+/// Result of the electrothermal fixed point.
+struct ThermalOperatingPoint {
+  Kelvin junction;
+  Watt chip_power;        ///< total chip power at the converged temperature
+  Watt leakage_power;     ///< temperature-dependent part
+  bool within_limit = false;
+  int iterations = 0;
+};
+
+/// Electrothermal solver for the many-core chip.
+class ThermalModel {
+ public:
+  ThermalModel(ThermalParams params, tech::TechnologyModel tech, power::ChipConfig chip);
+
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+
+  /// Leakage power of one core at supply `vdd` and junction temperature
+  /// `t`: the technology model's reference-temperature leakage scaled by
+  /// the exponential temperature dependence.
+  [[nodiscard]] Watt leakage_at(Volt vdd, Kelvin t) const;
+
+  /// Steady-state junction temperature for a given dissipated power.
+  [[nodiscard]] Kelvin junction_for(Watt chip_power) const;
+
+  /// Solve the electrothermal fixed point for `active_cores` cores running
+  /// at frequency `f` with the given activity plus a fixed uncore power.
+  [[nodiscard]] ThermalOperatingPoint solve(Hertz f, double activity, int active_cores,
+                                            Watt uncore_power) const;
+
+  /// Largest number of cores that can run at (f, activity) without
+  /// exceeding the power budget or the junction limit — the dark-silicon
+  /// count at this operating point.
+  [[nodiscard]] int dark_silicon_cores(Hertz f, double activity, Watt uncore_power,
+                                       Watt power_budget) const;
+
+ private:
+  ThermalParams params_;
+  tech::TechnologyModel tech_;
+  power::ChipConfig chip_;
+};
+
+}  // namespace ntserv::thermal

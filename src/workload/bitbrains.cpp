@@ -1,0 +1,61 @@
+#include "workload/bitbrains.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ntserv::workload {
+
+BitbrainsTraceModel::BitbrainsTraceModel(BitbrainsParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  NTSERV_EXPECTS(params_.population > 0, "population must be positive");
+  NTSERV_EXPECTS(params_.mem_log_sigma > 0.0, "sigma must be positive");
+}
+
+VmSample BitbrainsTraceModel::sample() {
+  VmSample vm;
+  vm.mem_mb = rng_.lognormal(params_.mem_log_mu, params_.mem_log_sigma);
+  // CPU utilization: exponential-ish mass near idle with a busy tail,
+  // clamped to [0, 1].
+  vm.cpu_util = std::min(1.0, rng_.exponential(1.0 / params_.cpu_mean));
+  return vm;
+}
+
+std::vector<VmSample> BitbrainsTraceModel::sample_population() {
+  std::vector<VmSample> vms;
+  vms.reserve(static_cast<std::size_t>(params_.population));
+  for (int i = 0; i < params_.population; ++i) vms.push_back(sample());
+  return vms;
+}
+
+BitbrainsSummary BitbrainsTraceModel::summarize(const std::vector<VmSample>& vms,
+                                                double split_mb) {
+  NTSERV_EXPECTS(!vms.empty(), "cannot summarize an empty population");
+  PercentileTracker mem;
+  RunningStats cpu;
+  RunningStats low_class, high_class;
+  for (const auto& vm : vms) {
+    mem.add(vm.mem_mb);
+    cpu.add(vm.cpu_util);
+    if (vm.mem_mb < split_mb) {
+      low_class.add(vm.mem_mb);
+    } else {
+      high_class.add(vm.mem_mb);
+    }
+  }
+
+  BitbrainsSummary s;
+  s.mem_p50_mb = mem.percentile(50.0);
+  s.mem_p90_mb = mem.percentile(90.0);
+  s.mem_mean_mb = mem.mean();
+  s.cpu_mean = cpu.mean();
+  s.low_mem_fraction =
+      static_cast<double>(low_class.count()) / static_cast<double>(vms.size());
+  s.low_mem_class_mb = low_class.count() ? low_class.mean() : 0.0;
+  s.high_mem_class_mb = high_class.count() ? high_class.mean() : 0.0;
+  return s;
+}
+
+}  // namespace ntserv::workload

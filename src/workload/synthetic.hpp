@@ -1,0 +1,69 @@
+// Statistical micro-op generator: turns a WorkloadProfile into an infinite
+// program-order uop stream (the paper-substitution for running real
+// CloudSuite binaries under Flexus; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cpu/uop.hpp"
+#include "workload/profile.hpp"
+
+namespace ntserv::workload {
+
+/// Virtual-address layout of one core's synthetic process.
+struct AddressSpace {
+  Addr data_base = 8 * kGiB;
+  Addr code_base = 6 * kGiB;
+  /// Region shared by all cores of a cluster (OS structures, shared heaps).
+  Addr shared_base = 4 * kGiB;
+  std::uint64_t shared_size = 64 * kMiB;
+
+  /// Per-core layout: private data regions offset by a 16 GiB stripe (the
+  /// paper's per-container isolation), but a *shared* code region — the
+  /// cores of a cluster run the same server binary and shared libraries,
+  /// so instruction lines are naturally shared in the LLC.
+  static AddressSpace for_core(CoreId core) {
+    AddressSpace as;
+    as.data_base += static_cast<Addr>(core) * 16 * kGiB;
+    return as;
+  }
+};
+
+/// Infinite synthetic uop stream with the profile's statistics.
+class SyntheticWorkload final : public cpu::UopSource {
+ public:
+  SyntheticWorkload(WorkloadProfile profile, std::uint64_t seed,
+                    AddressSpace space = {});
+
+  cpu::MicroOp next() override;
+
+  [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
+  [[nodiscard]] std::uint64_t generated() const { return count_; }
+
+ private:
+  [[nodiscard]] cpu::UopType sample_type();
+  [[nodiscard]] Addr data_address(bool& is_chase);
+  [[nodiscard]] Addr branch_target();
+  void maybe_toggle_os_mode();
+
+  WorkloadProfile profile_;
+  AddressSpace space_;
+  Xoshiro256StarStar rng_;
+  ZipfSampler hot_zipf_;
+
+  Addr pc_;
+  Addr last_data_addr_ = 0;
+  bool have_last_addr_ = false;
+  std::vector<Addr> stream_cursor_;
+  int next_stream_ = 0;
+  int stream_burst_left_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t uops_since_last_load_ = 0;
+  bool in_os_mode_ = false;
+  std::uint64_t os_dwell_left_ = 0;
+};
+
+}  // namespace ntserv::workload

@@ -1,0 +1,12 @@
+#include "workload/trace.hpp"
+
+namespace ntserv::workload {
+
+UopTrace UopTrace::record(cpu::UopSource& source, std::uint64_t n) {
+  UopTrace t;
+  t.ops_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) t.ops_.push_back(source.next());
+  return t;
+}
+
+}  // namespace ntserv::workload

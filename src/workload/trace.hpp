@@ -1,0 +1,76 @@
+// Micro-op trace capture and replay.
+//
+// Wraps any UopSource to record its stream, and replays recorded streams
+// deterministically — the substitute for Flexus checkpoints: identical
+// instruction streams can be fed to differently-configured platforms
+// (frequency sweeps, cluster-size ablations) for controlled comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "cpu/uop.hpp"
+
+namespace ntserv::workload {
+
+/// Fixed-length recorded uop trace.
+class UopTrace {
+ public:
+  UopTrace() = default;
+
+  /// Capture `n` uops from `source`.
+  static UopTrace record(cpu::UopSource& source, std::uint64_t n);
+
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] const cpu::MicroOp& at(std::size_t i) const { return ops_.at(i); }
+
+  void push(const cpu::MicroOp& op) { ops_.push_back(op); }
+
+ private:
+  std::vector<cpu::MicroOp> ops_;
+};
+
+/// Replays a trace, looping at the end (infinite source semantics).
+class TraceReplaySource final : public cpu::UopSource {
+ public:
+  explicit TraceReplaySource(const UopTrace& trace) : trace_(trace) {
+    NTSERV_EXPECTS(trace.size() > 0, "cannot replay an empty trace");
+  }
+
+  cpu::MicroOp next() override {
+    const cpu::MicroOp& op = trace_.at(pos_);
+    if (++pos_ == trace_.size()) {
+      pos_ = 0;
+      ++wraps_;
+    }
+    return op;
+  }
+
+  [[nodiscard]] std::uint64_t wraps() const { return wraps_; }
+
+ private:
+  const UopTrace& trace_;
+  std::size_t pos_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+/// Pass-through recorder: forwards a source while capturing its stream.
+class RecordingSource final : public cpu::UopSource {
+ public:
+  explicit RecordingSource(cpu::UopSource& inner) : inner_(inner) {}
+
+  cpu::MicroOp next() override {
+    cpu::MicroOp op = inner_.next();
+    trace_.push(op);
+    return op;
+  }
+
+  [[nodiscard]] const UopTrace& trace() const { return trace_; }
+
+ private:
+  cpu::UopSource& inner_;
+  UopTrace trace_;
+};
+
+}  // namespace ntserv::workload

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "tech/body_bias.hpp"
+
+namespace ntserv::tech {
+namespace {
+
+TEST(BodyBias, OptimalBiasNeverWorseThanZero) {
+  const TechnologyModel soi{TechnologyParams::fdsoi28()};
+  for (double g : {0.3, 0.8, 1.5, 2.5}) {
+    const auto best = optimal_forward_bias(soi, ghz(g));
+    EXPECT_LE(best.power.value(), soi.core_power(ghz(g)).value() * 1.0000001)
+        << "at " << g << " GHz";
+  }
+}
+
+TEST(BodyBias, StrongBiasHelpsAtHighFrequency) {
+  const TechnologyModel soi{TechnologyParams::fdsoi28()};
+  const auto best = optimal_forward_bias(soi, ghz(2.5));
+  EXPECT_GT(best.body_bias.value(), 0.5);
+  EXPECT_LT(best.power.value(), soi.core_power(ghz(2.5)).value() * 0.92);
+}
+
+TEST(BodyBias, LittleBiasAtNearThreshold) {
+  // At very low frequency the part already sits at Vmin: extra FBB only
+  // adds leakage, so the optimum is at (or near) zero bias.
+  const TechnologyModel soi{TechnologyParams::fdsoi28()};
+  const auto best = optimal_forward_bias(soi, mhz(100));
+  EXPECT_LT(best.body_bias.value(), 0.3);
+}
+
+TEST(BodyBias, OptimalSearchUnreachableThrows) {
+  const TechnologyModel bulk{TechnologyParams::bulk28()};
+  // Bulk has no bias range; frequency above its max is unreachable.
+  EXPECT_THROW((void)optimal_forward_bias(bulk, ghz(5.0)), ModelError);
+}
+
+TEST(BodyBias, TransitionTimeMatchesPaperDatum) {
+  // 5 mm^2 at 1.3 V swing: under 1 us (paper Sec. II-A item 2).
+  const Second t = bias_transition_time(5.0, volts(0.0), volts(1.3));
+  EXPECT_LT(in_us(t), 1.0);
+  EXPECT_GT(in_us(t), 0.5);
+}
+
+TEST(BodyBias, TransitionScalesWithAreaAndSwing) {
+  const Second base = bias_transition_time(5.0, volts(0.0), volts(1.3));
+  EXPECT_NEAR(bias_transition_time(10.0, volts(0.0), volts(1.3)).value(),
+              2.0 * base.value(), 1e-12);
+  EXPECT_NEAR(bias_transition_time(5.0, volts(0.0), volts(2.6)).value(),
+              2.0 * base.value(), 1e-12);
+  EXPECT_THROW((void)bias_transition_time(0.0, volts(0), volts(1)), ModelError);
+}
+
+TEST(BodyBias, BiasBoostFasterThanDvfsRamp) {
+  const Second bias = bias_transition_time(5.0, volts(0.0), volts(1.5));
+  const Second dvfs = dvfs_transition_time(volts(0.8), volts(1.1));
+  EXPECT_LT(bias.value(), dvfs.value());
+}
+
+TEST(BodyBias, RbbReductionOrderOfMagnitudePerVolt) {
+  // Paper Sec. II-A item 3: RBB cuts leakage by ~10x (state-retentive).
+  const TechnologyModel cw{TechnologyParams::fdsoi28_cw()};
+  const double r1 = rbb_leakage_reduction(cw, volts(0.5), volts(-1.0));
+  EXPECT_GT(r1, 7.0);
+  EXPECT_LT(r1, 14.0);
+  // Deeper bias keeps reducing.
+  const double r2 = rbb_leakage_reduction(cw, volts(0.5), volts(-2.0));
+  EXPECT_GT(r2, r1 * 5.0);
+}
+
+TEST(BodyBias, SleepRequiresReverseBias) {
+  const TechnologyModel cw{TechnologyParams::fdsoi28_cw()};
+  EXPECT_THROW((void)sleep_leakage_power(cw, volts(0.5), volts(0.5)), ModelError);
+  EXPECT_GT(sleep_leakage_power(cw, volts(0.5), volts(-1.0)).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ntserv::tech

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "dse/dse.hpp"
+
+namespace ntserv::dse {
+namespace {
+
+/// Hand-built sweep with analytically known behaviour: UIPS = k*f^0.8
+/// (sub-linear), core power ~ f^3, fixed uncore and memory.
+SweepResult synthetic_sweep() {
+  SweepResult s;
+  s.workload = "synthetic";
+  for (double g = 0.2; g <= 2.01; g += 0.2) {
+    sim::OperatingPointResult p;
+    p.frequency = ghz(g);
+    p.uips = 30e9 * std::pow(g / 2.0, 0.8);
+    p.power.core_dynamic = watts(20.0 * g * g * g / 8.0);
+    p.power.core_leakage = watts(0.05);
+    p.power.llc = watts(18.0);
+    p.power.interconnect = watts(0.22);
+    p.power.io = watts(5.0);
+    p.power.dram_background = watts(1.9);
+    p.power.dram_dynamic = watts(2.0 * g / 2.0);
+    p.eff_cores = p.uips / p.power.cores().value();
+    p.eff_soc = p.uips / p.power.soc().value();
+    p.eff_server = p.uips / p.power.server().value();
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+TEST(Dse, ScopeNames) {
+  EXPECT_STREQ(to_string(Scope::kCores), "cores");
+  EXPECT_STREQ(to_string(Scope::kSoc), "SoC");
+  EXPECT_STREQ(to_string(Scope::kServer), "server");
+}
+
+TEST(Dse, CoresOptimumAtLowestFrequency) {
+  const auto s = synthetic_sweep();
+  EXPECT_EQ(s.optimal_index(Scope::kCores), 0u);
+  EXPECT_NEAR(in_ghz(s.optimal_frequency(Scope::kCores)), 0.2, 1e-9);
+}
+
+TEST(Dse, SocOptimumInTheMiddle) {
+  const auto s = synthetic_sweep();
+  const double f = in_ghz(s.optimal_frequency(Scope::kSoc));
+  EXPECT_GT(f, 0.5);
+  EXPECT_LT(f, 2.0);
+}
+
+TEST(Dse, ServerOptimumAtOrRightOfSocOptimum) {
+  const auto s = synthetic_sweep();
+  EXPECT_GE(s.optimal_frequency(Scope::kServer).value(),
+            s.optimal_frequency(Scope::kSoc).value() - 1.0);
+}
+
+TEST(Dse, BaselineUipsIsHighestFrequencyPoint) {
+  const auto s = synthetic_sweep();
+  EXPECT_DOUBLE_EQ(s.baseline_uips(), s.points.back().uips);
+}
+
+TEST(Dse, UipsSamplesMatchPoints) {
+  const auto s = synthetic_sweep();
+  const auto samples = s.uips_samples();
+  ASSERT_EQ(samples.size(), s.points.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].uips, s.points[i].uips);
+  }
+}
+
+TEST(Dse, ChooseOperatingPointRespectsFloor) {
+  const auto s = synthetic_sweep();
+  // Tight QoS: floor lands mid-sweep.
+  qos::QosTarget tight{"t", milliseconds(100), milliseconds(55)};
+  const auto choice = choose_operating_point(s, tight);
+  EXPECT_GE(choice.chosen_frequency.value(), choice.qos_floor.value());
+  EXPECT_LE(choice.normalized_p99, 1.0 + 1e-9);
+  EXPECT_GT(choice.efficiency, 0.0);
+}
+
+TEST(Dse, ChooseOperatingPointPicksEfficiencyAboveFloor) {
+  const auto s = synthetic_sweep();
+  qos::QosTarget loose{"l", seconds(100), milliseconds(1)};
+  const auto choice = choose_operating_point(s, loose);
+  // Floor is the bottom of the sweep; chosen = server-scope optimum.
+  EXPECT_NEAR(choice.chosen_frequency.value(),
+              s.optimal_frequency(Scope::kServer).value(), 1.0);
+}
+
+TEST(Dse, EnergyProportionalityBounds) {
+  const auto s = synthetic_sweep();
+  for (Scope scope : {Scope::kCores, Scope::kSoc, Scope::kServer}) {
+    const double ep = energy_proportionality(s, scope);
+    EXPECT_GE(ep, 0.0);
+    EXPECT_LE(ep, 1.2);
+  }
+  // Cores alone are nearly proportional (cubic power, sublinear UIPS);
+  // the server with its constant uncore is much less so.
+  EXPECT_GT(energy_proportionality(s, Scope::kCores),
+            energy_proportionality(s, Scope::kServer) + 0.2);
+}
+
+TEST(Dse, ConsolidationHeadroomAboveOneWhenFloorBelowOptimum) {
+  const auto s = synthetic_sweep();
+  qos::QosTarget loose{"l", seconds(100), milliseconds(1)};
+  EXPECT_GT(consolidation_headroom(s, loose), 1.0);
+}
+
+TEST(Dse, ConsolidationHeadroomOneWhenFloorAtOptimum) {
+  const auto s = synthetic_sweep();
+  // QoS so tight the floor sits above the efficiency optimum.
+  qos::QosTarget tight{"t", milliseconds(100), milliseconds(95)};
+  EXPECT_DOUBLE_EQ(consolidation_headroom(s, tight), 1.0);
+}
+
+TEST(Dse, EmptySweepThrows) {
+  SweepResult empty;
+  EXPECT_THROW((void)empty.optimal_index(Scope::kCores), ModelError);
+  EXPECT_THROW((void)empty.baseline_uips(), ModelError);
+}
+
+}  // namespace
+}  // namespace ntserv::dse

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "power/server_power.hpp"
+
+namespace ntserv::power {
+namespace {
+
+using tech::TechnologyModel;
+using tech::TechnologyParams;
+
+// ---- CACTI-lite (paper: ~500 mW per 1MB LLC slice, mostly leakage) ----
+
+TEST(CactiLite, LeakagePerMbMatchesPaper) {
+  const CactiLiteModel llc{CactiLiteParams{}};
+  EXPECT_NEAR(in_mw(llc.leakage_per_mb()), 500.0, 25.0);
+}
+
+TEST(CactiLite, LeakageScalesWithCapacity) {
+  CactiLiteParams p;
+  p.capacity_bytes = 1 * kMiB;
+  const CactiLiteModel one{p};
+  p.capacity_bytes = 4 * kMiB;
+  const CactiLiteModel four{p};
+  EXPECT_NEAR(four.leakage_power().value(), 4.0 * one.leakage_power().value(), 1e-9);
+}
+
+TEST(CactiLite, MostlyLeakageUnderTypicalRates) {
+  const CactiLiteModel llc{CactiLiteParams{}};
+  // ~100M accesses/s across the cluster LLC.
+  const Watt dyn = llc.dynamic_power(8e7, 2e7, 1e7);
+  EXPECT_LT(dyn.value(), llc.leakage_power().value());
+}
+
+TEST(CactiLite, DynamicLinearInRates) {
+  const CactiLiteModel llc{CactiLiteParams{}};
+  const double p1 = llc.dynamic_power(1e8, 0, 0).value();
+  EXPECT_NEAR(llc.dynamic_power(2e8, 0, 0).value(), 2.0 * p1, 1e-12);
+  EXPECT_DOUBLE_EQ(llc.dynamic_power(0, 0, 0).value(), 0.0);
+  EXPECT_THROW((void)llc.dynamic_power(-1, 0, 0), ModelError);
+}
+
+TEST(CactiLite, ValidatesParams) {
+  CactiLiteParams p;
+  p.leakage_reduction_factor = 0.0;
+  EXPECT_THROW(CactiLiteModel{p}, ModelError);
+  p = CactiLiteParams{};
+  p.banks = 0;
+  EXPECT_THROW(CactiLiteModel{p}, ModelError);
+}
+
+// ---- Crossbar (paper: ~25 mW) and I/O (paper: ~5 W, T2-class) ----
+
+TEST(Uncore, CrossbarStaticMatchesPaper) {
+  const CrossbarPowerModel xbar{CrossbarPowerParams{}};
+  EXPECT_NEAR(in_mw(xbar.static_power()), 25.0, 1.0);
+}
+
+TEST(Uncore, CrossbarDynamicLinearInFlits) {
+  const CrossbarPowerModel xbar{CrossbarPowerParams{}};
+  const double p = xbar.dynamic_power(1e9).value();
+  EXPECT_NEAR(xbar.dynamic_power(2e9).value(), 2 * p, 1e-12);
+  EXPECT_GT(xbar.total_power(1e9).value(), xbar.static_power().value());
+}
+
+TEST(Uncore, IoPowerMatchesPaper) {
+  const McPatLiteIoModel io{McPatLiteIoParams{}};
+  EXPECT_NEAR(io.total_power().value(), 5.0, 0.1);
+}
+
+TEST(Uncore, IoScalesWithChannelCount) {
+  McPatLiteIoParams p;
+  const double base = McPatLiteIoModel{p}.total_power().value();
+  p.memory_channels = 8;
+  EXPECT_GT(McPatLiteIoModel{p}.total_power().value(), base);
+}
+
+// ---- DRAM power (paper Table I) ----
+
+TEST(DramPower, TableOneCoefficients) {
+  const auto e = DramEnergyTable::ddr4_1600();
+  EXPECT_DOUBLE_EQ(in_nj(e.idle_per_cycle), 0.0728);
+  EXPECT_DOUBLE_EQ(in_nj(e.read_per_byte), 0.2566);
+  EXPECT_DOUBLE_EQ(in_nj(e.write_per_byte), 0.2495);
+}
+
+TEST(DramPower, BackgroundScalesWithRanks) {
+  DramPowerParams p;
+  const double sixteen = DramPowerModel{p}.background_power().value();
+  p.ranks_per_channel = 2;
+  const double eight = DramPowerModel{p}.background_power().value();
+  EXPECT_NEAR(sixteen, 2.0 * eight, 1e-9);
+}
+
+TEST(DramPower, BackgroundMatchesHandComputation) {
+  // 16 ranks x 0.0728 nJ/cycle x 1.6 GHz = 1.864 W.
+  const DramPowerModel m{DramPowerParams{}};
+  EXPECT_NEAR(m.background_power().value(), 16 * 0.0728e-9 * 1.6e9, 1e-6);
+}
+
+TEST(DramPower, DynamicMatchesBandwidth) {
+  const DramPowerModel m{DramPowerParams{}};
+  // 10 GB/s read: 0.2566 nJ/B * 1e10 B/s = 2.566 W.
+  EXPECT_NEAR(m.dynamic_power(1e10, 0.0).value(), 2.566, 1e-6);
+  EXPECT_NEAR(m.dynamic_power(0.0, 1e10).value(), 2.495, 1e-6);
+}
+
+TEST(DramPower, Lpddr4CutsBackgroundNotBandwidthCapability) {
+  DramPowerParams lp;
+  lp.energy = DramEnergyTable::lpddr4_1600();
+  const DramPowerModel lpddr{lp};
+  const DramPowerModel ddr{DramPowerParams{}};
+  EXPECT_LT(lpddr.background_power().value(), ddr.background_power().value() / 3.0);
+  EXPECT_LT(lpddr.dynamic_power(1e10, 0).value(), ddr.dynamic_power(1e10, 0).value());
+}
+
+TEST(DramPower, PerOperationEnergy) {
+  const DramPowerModel m{DramPowerParams{}};
+  EXPECT_NEAR(in_nj(m.read_energy(64)), 64 * 0.2566, 1e-9);
+  EXPECT_NEAR(in_nj(m.write_energy(64)), 64 * 0.2495, 1e-9);
+}
+
+// ---- Server-level aggregation ----
+
+ServerPowerModel make_server() {
+  return ServerPowerModel{TechnologyModel{TechnologyParams::fdsoi28()}, ChipConfig{}};
+}
+
+TEST(ServerPower, BreakdownComposition) {
+  const auto server = make_server();
+  ActivityVector a;
+  a.core_activity = 0.5;
+  a.llc_reads_per_s = 1e8;
+  a.dram_read_bw = 1e10;
+  const auto b = server.evaluate(ghz(1.0), a);
+  EXPECT_NEAR(b.cores().value(), (b.core_dynamic + b.core_leakage).value(), 1e-12);
+  EXPECT_NEAR(b.soc().value(), (b.cores() + b.llc + b.interconnect + b.io).value(), 1e-12);
+  EXPECT_NEAR(b.server().value(), (b.soc() + b.memory()).value(), 1e-12);
+  EXPECT_GT(b.llc.value(), 15.0);   // 9 clusters x ~2W LLC leakage
+  EXPECT_NEAR(b.io.value(), 5.0, 0.1);
+}
+
+TEST(ServerPower, UncoreIndependentOfCoreFrequency) {
+  const auto server = make_server();
+  ActivityVector a;
+  const auto lo = server.evaluate(mhz(300), a);
+  const auto hi = server.evaluate(ghz(2.0), a);
+  EXPECT_NEAR(lo.llc.value(), hi.llc.value(), 1e-9);
+  EXPECT_NEAR(lo.io.value(), hi.io.value(), 1e-9);
+  EXPECT_NEAR(lo.dram_background.value(), hi.dram_background.value(), 1e-9);
+  EXPECT_LT(lo.cores().value(), hi.cores().value());
+}
+
+TEST(ServerPower, CorePowerScalesSuperlinearly) {
+  const auto server = make_server();
+  ActivityVector a;
+  const double p1 = server.evaluate(ghz(1.0), a).cores().value();
+  const double p2 = server.evaluate(ghz(2.0), a).cores().value();
+  EXPECT_GT(p2, 2.5 * p1);  // f * V^2 growth, not linear
+}
+
+TEST(ServerPower, InfeasibleFrequencyThrows) {
+  const auto server = make_server();
+  EXPECT_THROW((void)server.evaluate(ghz(5.0), ActivityVector{}), ModelError);
+}
+
+TEST(ServerPower, SleepFloorIsUncoreDominated) {
+  const auto server = make_server();
+  const auto sleep = server.evaluate_sleep(volts(0.5), volts(-2.0));
+  EXPECT_DOUBLE_EQ(sleep.core_dynamic.value(), 0.0);
+  EXPECT_LT(sleep.cores().value(), 0.5);       // 36 cores asleep: < 0.5 W
+  EXPECT_GT(sleep.uncore().value(), 20.0);     // LLC+I/O still on
+  EXPECT_GT(sleep.server().value(), sleep.uncore().value());
+}
+
+TEST(ServerPower, WithDramSwapsOnlyMemory) {
+  const auto server = make_server();
+  DramPowerParams lp;
+  lp.energy = DramEnergyTable::lpddr4_1600();
+  const auto lpddr = server.with_dram(lp);
+  ActivityVector a;
+  const auto b0 = server.evaluate(ghz(1.0), a);
+  const auto b1 = lpddr.evaluate(ghz(1.0), a);
+  EXPECT_NEAR(b0.soc().value(), b1.soc().value(), 1e-9);
+  EXPECT_LT(b1.dram_background.value(), b0.dram_background.value());
+}
+
+TEST(ServerPower, WithTechSwapsCores) {
+  const auto soi = make_server();
+  const auto bulk = soi.with_tech(TechnologyModel{TechnologyParams::bulk28()});
+  ActivityVector a;
+  EXPECT_GT(bulk.evaluate(ghz(1.0), a).cores().value(),
+            soi.evaluate(ghz(1.0), a).cores().value());
+  EXPECT_NEAR(bulk.evaluate(ghz(1.0), a).uncore().value(),
+              soi.evaluate(ghz(1.0), a).uncore().value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace ntserv::power

@@ -1,0 +1,211 @@
+// Cross-module property tests: parameter sweeps asserting monotonicity and
+// sensitivity relations that must hold for any sane configuration.
+#include <gtest/gtest.h>
+
+#include "cache/cluster_memory.hpp"
+#include "common/rng.hpp"
+#include "dram/dram_system.hpp"
+#include "tech/technology.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ntserv {
+namespace {
+
+// ---- DRAM timing sensitivity ----
+
+double avg_random_read_latency(const dram::DramConfig& cfg, int n = 1500) {
+  dram::DramSystem mem{cfg};
+  Xoshiro256StarStar rng{77};
+  std::uint64_t id = 0;
+  int issued = 0;
+  for (Cycle c = 0; c < 400000 && issued < n; ++c) {
+    if (c % 7 == 0) {
+      if (mem.enqueue(id++, rng.uniform_below(1ull << 30) & ~63ull, false)) ++issued;
+    }
+    mem.tick();
+    (void)mem.drain_completions();
+  }
+  for (Cycle c = 0; c < 5000 && !mem.idle(); ++c) {
+    mem.tick();
+    (void)mem.drain_completions();
+  }
+  return mem.stats().avg_read_latency_cycles;
+}
+
+class CasLatencyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CasLatencyTest, ReadLatencyGrowsWithCl) {
+  dram::DramConfig base;
+  dram::DramConfig slow;
+  slow.timing.cl = GetParam();
+  EXPECT_GE(avg_random_read_latency(slow) + 0.5, avg_random_read_latency(base));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClValues, CasLatencyTest, ::testing::Values(14u, 18u, 24u));
+
+TEST(DramProperty, SlowerTrcdTrpRaisesLatency) {
+  dram::DramConfig fast, slow;
+  slow.timing.trcd = 22;
+  slow.timing.trp = 22;
+  EXPECT_GT(avg_random_read_latency(slow), avg_random_read_latency(fast));
+}
+
+TEST(DramProperty, MoreChannelsReduceLatencyUnderLoad) {
+  dram::DramConfig one, four;
+  one.geometry.channels = 1;
+  four.geometry.channels = 4;
+  EXPECT_LT(avg_random_read_latency(four), avg_random_read_latency(one));
+}
+
+TEST(DramProperty, Lpddr4TimingCostsLatency) {
+  dram::DramConfig ddr, lp;
+  lp.timing = dram::Ddr4Timing::lpddr4_1600();
+  EXPECT_GT(avg_random_read_latency(lp), avg_random_read_latency(ddr));
+}
+
+// ---- Cache geometry sensitivity ----
+
+double l1d_hit_rate_for(cache::HierarchyParams params, std::uint64_t footprint_lines) {
+  cache::ClusterMemorySystem mem{params, dram::DramConfig{}, ghz(1.0)};
+  Xoshiro256StarStar rng{101};
+  Cycle now = 0;
+  std::uint64_t tag = 0;
+  for (int i = 0; i < 60000; ++i) {
+    mem.tick(now);
+    (void)mem.drain_completions();
+    (void)mem.access(0, rng.uniform_below(footprint_lines) * 64,
+                     cache::AccessType::kLoad, ++tag, now);
+    ++now;
+  }
+  const auto& s = mem.stats();
+  return static_cast<double>(s.l1d_hits) / static_cast<double>(s.l1d_hits + s.l1d_misses);
+}
+
+class L1SizeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(L1SizeTest, LargerL1NeverHurts) {
+  cache::HierarchyParams small;
+  small.nextline_prefetch = false;
+  small.l1d.size_bytes = 16 * kKiB;
+  cache::HierarchyParams big = small;
+  big.l1d.size_bytes = 64 * kKiB;
+  const std::uint64_t fp = GetParam();
+  EXPECT_GE(l1d_hit_rate_for(big, fp) + 0.01, l1d_hit_rate_for(small, fp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, L1SizeTest,
+                         ::testing::Values(256ull, 1024ull, 8192ull));
+
+TEST(CacheProperty, WorkingSetTransition) {
+  // Hit rate collapses as the footprint crosses the L1 capacity.
+  cache::HierarchyParams p;
+  p.nextline_prefetch = false;
+  const double fits = l1d_hit_rate_for(p, 256);       // 16KB of 32KB L1
+  const double thrash = l1d_hit_rate_for(p, 1 << 16); // 4MB
+  EXPECT_GT(fits, 0.95);
+  EXPECT_LT(thrash, 0.45);
+}
+
+// ---- Technology parameter sensitivity ----
+
+TEST(TechProperty, HigherVthLowersFrequencyRaisesNothingElse) {
+  auto p = tech::TechnologyParams::fdsoi28();
+  const tech::TechnologyModel base{p};
+  p.vth0 = Volt{p.vth0.value() + 0.05};
+  const tech::TechnologyModel high{p};
+  for (double v = 0.5; v <= 1.3; v += 0.1) {
+    EXPECT_LT(high.frequency_at(volts(v)).value(), base.frequency_at(volts(v)).value());
+    EXPECT_LT(high.leakage_power(volts(v)).value(), base.leakage_power(volts(v)).value());
+  }
+}
+
+TEST(TechProperty, SubthresholdSlopeControlsLeakageSensitivity) {
+  auto p = tech::TechnologyParams::fdsoi28();
+  p.subthreshold_sw = Volt{0.030};  // steeper device
+  const tech::TechnologyModel steep{p};
+  const tech::TechnologyModel base{tech::TechnologyParams::fdsoi28()};
+  // Steeper slope -> less leakage at low Vdd (further below Vth).
+  EXPECT_LT(steep.leakage_power(volts(0.5)).value(),
+            base.leakage_power(volts(0.5)).value());
+}
+
+class BiasGridTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BiasGridTest, ForwardBiasAlwaysRaisesFrequencyAndLeakage) {
+  const tech::TechnologyModel base{tech::TechnologyParams::fdsoi28()};
+  const tech::TechnologyModel biased = base.with_body_bias(volts(GetParam()));
+  EXPECT_GT(biased.frequency_at(volts(0.7)).value(),
+            base.frequency_at(volts(0.7)).value());
+  EXPECT_GT(biased.leakage_power(volts(0.7)).value(),
+            base.leakage_power(volts(0.7)).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasGrid, BiasGridTest, ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+// ---- Workload generator sensitivity ----
+
+double measured_locality(workload::WorkloadProfile p, std::uint64_t seed = 5) {
+  // Fraction of data accesses that re-touch one of the last 64 lines.
+  workload::SyntheticWorkload gen{p, seed};
+  std::vector<Addr> recent;
+  std::uint64_t hits = 0, total = 0;
+  for (int i = 0; i < 120000; ++i) {
+    const auto op = gen.next();
+    if (!cpu::is_memory(op.type)) continue;
+    const Addr line = line_base(op.mem_addr);
+    ++total;
+    for (Addr r : recent) {
+      if (r == line) {
+        ++hits;
+        break;
+      }
+    }
+    recent.push_back(line);
+    if (recent.size() > 64) recent.erase(recent.begin());
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TEST(WorkloadProperty, SpatialRunKnobRaisesLocality) {
+  auto lo = workload::WorkloadProfile::web_search();
+  auto hi = lo;
+  lo.spatial_run = 0.05;
+  hi.spatial_run = 0.60;
+  EXPECT_GT(measured_locality(hi), measured_locality(lo) + 0.1);
+}
+
+TEST(WorkloadProperty, ZipfSkewConcentratesHeapTraffic) {
+  auto flat = workload::WorkloadProfile::web_search();
+  auto skew = flat;
+  flat.zipf_skew = 0.1;
+  skew.zipf_skew = 1.2;
+  // Count distinct heap lines touched: higher skew -> fewer distinct lines.
+  auto distinct = [](const workload::WorkloadProfile& p) {
+    workload::SyntheticWorkload gen{p, 9};
+    std::set<Addr> lines;
+    const workload::AddressSpace space;
+    for (int i = 0; i < 100000; ++i) {
+      const auto op = gen.next();
+      if (cpu::is_memory(op.type) && op.mem_addr >= space.data_base &&
+          op.mem_addr < space.data_base + p.hot_footprint) {
+        lines.insert(line_base(op.mem_addr));
+      }
+    }
+    return lines.size();
+  };
+  EXPECT_LT(distinct(skew), distinct(flat));
+}
+
+TEST(WorkloadProperty, BranchFractionControlsBranchRate) {
+  auto p = workload::WorkloadProfile::web_search();
+  workload::SyntheticWorkload gen{p, 13};
+  std::uint64_t branches = 0;
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().type == cpu::UopType::kBranch) ++branches;
+  }
+  EXPECT_NEAR(static_cast<double>(branches) / n, p.mix.branch, 0.02);
+}
+
+}  // namespace
+}  // namespace ntserv

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ntserv {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256StarStar a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256StarStar rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowRange) {
+  Xoshiro256StarStar rng{9};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_below(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, UniformBelowRejectsZero) {
+  Xoshiro256StarStar rng{1};
+  EXPECT_THROW(rng.uniform_below(0), ModelError);
+}
+
+TEST(Rng, BernoulliMean) {
+  Xoshiro256StarStar rng{11};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256StarStar rng{13};
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256StarStar rng{17};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Xoshiro256StarStar rng{19};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  // mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, SplitIndependence) {
+  Xoshiro256StarStar rng{23};
+  auto other = rng.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng() == other()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ---- Zipf sampler properties over a range of skews ----
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RankFrequenciesDecay) {
+  const double skew = GetParam();
+  Xoshiro256StarStar rng{31};
+  ZipfSampler zipf{1000, skew};
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 300000; ++i) ++counts[zipf(rng)];
+  // Aggregate decay: first decile must receive at least as many draws as
+  // the last decile (strictly more when skewed).
+  int first = 0, last = 0;
+  for (int i = 0; i < 100; ++i) first += counts[i];
+  for (int i = 900; i < 1000; ++i) last += counts[i];
+  if (skew == 0.0) {
+    EXPECT_NEAR(first, last, 2000);
+  } else {
+    EXPECT_GT(first, last * 2);
+  }
+}
+
+TEST_P(ZipfTest, StaysInSupport) {
+  const double skew = GetParam();
+  Xoshiro256StarStar rng{37};
+  ZipfSampler zipf{64, skew};
+  for (int i = 0; i < 20000; ++i) ASSERT_LT(zipf(rng), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfTest, ::testing::Values(0.0, 0.5, 0.8, 0.99, 1.2));
+
+TEST(Zipf, TopShareMatchesTheory) {
+  // For s ~ 1, share of the top k of N ranks approximates ln(k)/ln(N).
+  Xoshiro256StarStar rng{41};
+  ZipfSampler zipf{1 << 20, 0.99};
+  const int n = 200000;
+  int top = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf(rng) < 512) ++top;
+  }
+  EXPECT_NEAR(static_cast<double>(top) / n, 0.45, 0.03);
+}
+
+TEST(Zipf, SingletonSupport) {
+  Xoshiro256StarStar rng{43};
+  ZipfSampler zipf{1, 0.99};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace ntserv

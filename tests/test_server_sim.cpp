@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/server_sim.hpp"
+#include "tech/technology.hpp"
+
+namespace ntserv::sim {
+namespace {
+
+ServerSimConfig fast_config() {
+  ServerSimConfig cfg;
+  cfg.smarts.warm_instructions = 200'000;
+  cfg.smarts.warmup = 10'000;
+  cfg.smarts.measure = 15'000;
+  cfg.smarts.min_samples = 3;
+  cfg.smarts.max_samples = 5;
+  return cfg;
+}
+
+ServerSimulator make_sim(workload::WorkloadProfile profile =
+                             workload::WorkloadProfile::web_search()) {
+  power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  return ServerSimulator{std::move(profile), std::move(platform), fast_config()};
+}
+
+TEST(ServerSim, EvaluateProducesConsistentResult) {
+  const auto sim = make_sim();
+  const auto r = sim.evaluate(ghz(1.0));
+  EXPECT_GT(r.uips, 0.0);
+  EXPECT_GT(r.uipc_cluster, 0.0);
+  EXPECT_NEAR(r.uips, r.uipc_cluster * 1e9 * 9.0, r.uips * 1e-9);
+  EXPECT_GT(r.power.server().value(), r.power.soc().value());
+  EXPECT_GT(r.power.soc().value(), r.power.cores().value());
+  // Efficiency ordering follows power-scope nesting.
+  EXPECT_GT(r.eff_cores, r.eff_soc);
+  EXPECT_GT(r.eff_soc, r.eff_server);
+  EXPECT_NEAR(r.vdd.value(), 0.8, 0.05);
+}
+
+TEST(ServerSim, ActivityVectorBounded) {
+  const auto sim = make_sim();
+  const auto r = sim.evaluate(ghz(1.5));
+  EXPECT_GE(r.activity.core_activity, sim.config().activity_floor);
+  EXPECT_LE(r.activity.core_activity, 1.0);
+  EXPECT_GT(r.activity.llc_reads_per_s, 0.0);
+  EXPECT_GT(r.activity.dram_read_bw, 0.0);
+  // Chip bandwidth capped at the channel peak (4ch x 1.6GT/s x 8B).
+  EXPECT_LE(r.activity.dram_read_bw + r.activity.dram_write_bw, 51.3e9);
+}
+
+TEST(ServerSim, ThroughputRisesSublinearlyWithFrequency) {
+  const auto sim = make_sim(workload::WorkloadProfile::data_serving());
+  const auto lo = sim.evaluate(mhz(500));
+  const auto hi = sim.evaluate(ghz(2.0));
+  EXPECT_GT(hi.uips, lo.uips);                 // faster clock -> more work
+  EXPECT_LT(hi.uips, lo.uips * 4.0);           // but sub-linear (memory-bound)
+  EXPECT_GT(hi.uips, lo.uips * 1.2);
+}
+
+TEST(ServerSim, VmThroughputNearlyLinear) {
+  const auto sim = make_sim(workload::WorkloadProfile::vm_banking_low_mem());
+  const auto lo = sim.evaluate(mhz(500));
+  const auto hi = sim.evaluate(ghz(2.0));
+  // CPU-bound: scaling well above the scale-out apps'.
+  EXPECT_GT(hi.uips / lo.uips, 2.4);
+}
+
+TEST(ServerSim, InfeasibleFrequencyThrows) {
+  const auto sim = make_sim();
+  EXPECT_THROW((void)sim.evaluate(ghz(10.0)), ModelError);
+}
+
+TEST(ServerSim, SweepReturnsAllPoints) {
+  const auto sim = make_sim();
+  const auto grid = frequency_grid(mhz(400), ghz(1.6), 4);
+  const auto points = sim.sweep(grid);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(points[i].frequency.value(), grid[i].value());
+  }
+}
+
+TEST(ServerSim, DeterministicForSeed) {
+  const auto sim = make_sim();
+  const auto a = sim.evaluate(ghz(1.0));
+  const auto b = sim.evaluate(ghz(1.0));
+  EXPECT_DOUBLE_EQ(a.uips, b.uips);
+  EXPECT_DOUBLE_EQ(a.power.server().value(), b.power.server().value());
+}
+
+TEST(ServerSim, FrequencyGridHelper) {
+  const auto grid = frequency_grid(ghz(0.2), ghz(2.0), 10);
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(in_ghz(grid.front()), 0.2);
+  EXPECT_DOUBLE_EQ(in_ghz(grid.back()), 2.0);
+  EXPECT_THROW((void)frequency_grid(ghz(1.0), ghz(0.5), 4), ModelError);
+  EXPECT_THROW((void)frequency_grid(ghz(0.5), ghz(1.0), 1), ModelError);
+}
+
+}  // namespace
+}  // namespace ntserv::sim

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace ntserv {
+namespace {
+
+TEST(Table, PrintsAlignedGrid) {
+  TextTable t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowWidthEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ModelError);
+  EXPECT_THROW(TextTable({}), ModelError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(100.0, 0), "100");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace ntserv

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "thermal/thermal.hpp"
+
+namespace ntserv::thermal {
+namespace {
+
+ThermalModel make_model(ThermalParams p = {}) {
+  return ThermalModel{p, tech::TechnologyModel{tech::TechnologyParams::fdsoi28()},
+                      power::ChipConfig{}};
+}
+
+TEST(Thermal, JunctionLinearInPower) {
+  const auto m = make_model();
+  const double t0 = m.junction_for(watts(0)).value();
+  EXPECT_DOUBLE_EQ(t0, m.params().ambient.value());
+  const double r = m.params().r_junction_heatsink + m.params().r_heatsink_ambient;
+  EXPECT_NEAR(m.junction_for(watts(100)).value(), t0 + 100.0 * r, 1e-9);
+}
+
+TEST(Thermal, LeakageGrowsWithTemperature) {
+  const auto m = make_model();
+  double prev = 0.0;
+  for (double t = 300.0; t <= 400.0; t += 20.0) {
+    const double leak = m.leakage_at(volts(0.8), kelvin(t)).value();
+    EXPECT_GT(leak, prev);
+    prev = leak;
+  }
+}
+
+TEST(Thermal, LeakageMatchesTechModelAtReference) {
+  const auto m = make_model();
+  const tech::TechnologyModel soi{tech::TechnologyParams::fdsoi28()};
+  EXPECT_NEAR(m.leakage_at(volts(0.8), m.params().t_reference).value(),
+              soi.leakage_power(volts(0.8)).value(), 1e-9);
+}
+
+TEST(Thermal, NtcPointRunsCoolAndWithinLimit) {
+  // The paper's thesis: at NTC the chip is energy-bound, not thermal-bound.
+  const auto m = make_model();
+  const auto op = m.solve(mhz(500), 0.6, 36, watts(23.3));
+  EXPECT_TRUE(op.within_limit);
+  EXPECT_LT(op.junction.value(), celsius(60.0).value());
+  EXPECT_GT(op.iterations, 0);
+}
+
+TEST(Thermal, FullSpeedRunsHotterThanNtc) {
+  const auto m = make_model();
+  const auto slow = m.solve(mhz(500), 0.6, 36, watts(23.3));
+  const auto fast = m.solve(ghz(2.5), 0.8, 36, watts(23.3));
+  EXPECT_GT(fast.junction.value(), slow.junction.value() + 10.0);
+  EXPECT_GT(fast.chip_power.value(), slow.chip_power.value());
+}
+
+TEST(Thermal, ElectrothermalFeedbackRaisesLeakage) {
+  const auto m = make_model();
+  const tech::TechnologyModel soi{tech::TechnologyParams::fdsoi28()};
+  const auto op = m.solve(ghz(2.0), 1.0, 36, watts(23.3));
+  ASSERT_TRUE(op.within_limit);
+  // Converged leakage exceeds the reference-temperature value whenever the
+  // junction settles above the calibration point... or is below when the
+  // junction runs cooler than 85 C. Either way the feedback must have been
+  // applied consistently:
+  const Volt vdd = soi.voltage_for(ghz(2.0));
+  const double expected = m.leakage_at(vdd, op.junction).value() * 36.0;
+  EXPECT_NEAR(op.leakage_power.value(), expected, expected * 0.02);
+}
+
+TEST(Thermal, PoorCoolingReducesHeadroom) {
+  ThermalParams good;
+  ThermalParams poor;
+  poor.r_heatsink_ambient = 1.2;  // passive cooling
+  const auto mg = make_model(good);
+  const auto mp = make_model(poor);
+  const int cores_good = mg.dark_silicon_cores(ghz(2.0), 1.0, watts(23.3), watts(1000));
+  const int cores_poor = mp.dark_silicon_cores(ghz(2.0), 1.0, watts(23.3), watts(1000));
+  EXPECT_GT(cores_good, cores_poor);
+}
+
+TEST(Thermal, DarkSiliconMonotoneInFrequency) {
+  const auto m = make_model();
+  const Watt budget{100.0};
+  const Watt uncore{23.3};
+  int prev = 37;
+  for (double g : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+    const int cores = m.dark_silicon_cores(ghz(g), 1.0, uncore, budget);
+    EXPECT_LE(cores, prev) << "at " << g << " GHz";
+    prev = cores;
+  }
+}
+
+TEST(Thermal, AllCoresFitBudgetAtNtc) {
+  // Paper Sec. V-B1: NTC operation eases dark silicon — the whole chip can
+  // be lit within the 100 W budget at near-threshold frequencies.
+  const auto m = make_model();
+  EXPECT_EQ(m.dark_silicon_cores(mhz(500), 1.0, watts(23.3), watts(100)), 36);
+}
+
+TEST(Thermal, BudgetDarkensCoresAtTopFrequency) {
+  const auto m = make_model();
+  const tech::TechnologyModel soi{tech::TechnologyParams::fdsoi28()};
+  const Hertz top = soi.max_frequency() * 0.99;
+  EXPECT_LT(m.dark_silicon_cores(top, 1.0, watts(23.3), watts(100)), 36);
+}
+
+TEST(Thermal, ValidatesParams) {
+  ThermalParams bad;
+  bad.r_junction_heatsink = 0.0;
+  EXPECT_THROW(make_model(bad), ModelError);
+  bad = ThermalParams{};
+  bad.t_junction_max = bad.ambient;
+  EXPECT_THROW(make_model(bad), ModelError);
+}
+
+TEST(Thermal, SolveValidatesInput) {
+  const auto m = make_model();
+  EXPECT_THROW((void)m.solve(ghz(1.0), 1.0, 100, watts(0)), ModelError);
+  EXPECT_THROW((void)m.solve(ghz(9.0), 1.0, 4, watts(0)), ModelError);
+}
+
+}  // namespace
+}  // namespace ntserv::thermal

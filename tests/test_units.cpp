@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace ntserv {
+namespace {
+
+TEST(Units, ConstructionHelpers) {
+  EXPECT_DOUBLE_EQ(mhz(100).value(), 1e8);
+  EXPECT_DOUBLE_EQ(ghz(2).value(), 2e9);
+  EXPECT_DOUBLE_EQ(khz(5).value(), 5e3);
+  EXPECT_DOUBLE_EQ(millivolts(85).value(), 0.085);
+  EXPECT_DOUBLE_EQ(milliwatts(25).value(), 0.025);
+  EXPECT_DOUBLE_EQ(nanojoules(0.0728).value(), 0.0728e-9);
+  EXPECT_DOUBLE_EQ(milliseconds(20).value(), 0.020);
+  EXPECT_DOUBLE_EQ(celsius(85).value(), 358.15);
+}
+
+TEST(Units, ViewHelpers) {
+  EXPECT_DOUBLE_EQ(in_mhz(ghz(1.5)), 1500.0);
+  EXPECT_DOUBLE_EQ(in_ghz(mhz(500)), 0.5);
+  EXPECT_DOUBLE_EQ(in_mw(watts(0.025)), 25.0);
+  EXPECT_DOUBLE_EQ(in_nj(joules(2.5e-9)), 2.5);
+  EXPECT_DOUBLE_EQ(in_ms(seconds(0.2)), 200.0);
+  EXPECT_DOUBLE_EQ(in_us(seconds(1e-6)), 1.0);
+}
+
+TEST(Units, SameUnitArithmetic) {
+  const Watt a = watts(3.0);
+  const Watt b = watts(1.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((-b).value(), -1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);  // dimensionless ratio
+}
+
+TEST(Units, CompoundAssignment) {
+  Watt p = watts(1.0);
+  p += watts(2.0);
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  p -= watts(0.5);
+  EXPECT_DOUBLE_EQ(p.value(), 2.5);
+  p *= 4.0;
+  EXPECT_DOUBLE_EQ(p.value(), 10.0);
+  p /= 5.0;
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(mhz(500), ghz(1));
+  EXPECT_GT(volts(1.0), millivolts(900));
+  EXPECT_EQ(hz(1e9), ghz(1));
+  EXPECT_LE(watts(5), watts(5));
+}
+
+TEST(Units, CrossDimensionalRelations) {
+  // E = P * t, P = E / t, t = E / P.
+  EXPECT_DOUBLE_EQ((watts(10) * seconds(2)).value(), 20.0);
+  EXPECT_DOUBLE_EQ((seconds(2) * watts(10)).value(), 20.0);
+  EXPECT_DOUBLE_EQ((joules(20) / seconds(2)).value(), 10.0);
+  EXPECT_DOUBLE_EQ((joules(20) / watts(10)).value(), 2.0);
+}
+
+TEST(Units, FrequencyRelations) {
+  EXPECT_DOUBLE_EQ(period(ghz(1)).value(), 1e-9);
+  EXPECT_DOUBLE_EQ(energy_per_cycle(watts(2), ghz(2)).value(), 1e-9);
+  EXPECT_DOUBLE_EQ(cycles_in(milliseconds(1), ghz(1)), 1e6);
+}
+
+TEST(Units, DataSizes) {
+  EXPECT_EQ(kKiB, 1024ull);
+  EXPECT_EQ(kMiB, 1024ull * 1024);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(in_gib_per_s(gib_per_s(25.6)), 25.6);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << ghz(1.5);
+  EXPECT_EQ(os.str(), "1.5e+09");
+}
+
+}  // namespace
+}  // namespace ntserv
