@@ -63,6 +63,50 @@ void BM_ClusterCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterCycle);
 
+/// The event-skipping kernel against the pure ticked path, on the
+/// memory-bound workload where skipping matters (range arg 0 = ticked,
+/// 1 = event-skipping).
+void BM_ClusterRunEventSkip(benchmark::State& state) {
+  sim::ClusterConfig cc;
+  cc.core_clock = ghz(2.0);
+  cc.event_skipping = state.range(0) != 0;
+  std::vector<std::unique_ptr<cpu::UopSource>> sources;
+  for (int c = 0; c < 4; ++c) {
+    sources.push_back(std::make_unique<workload::SyntheticWorkload>(
+        workload::WorkloadProfile::data_serving(), 100 + static_cast<std::uint64_t>(c),
+        workload::AddressSpace::for_core(static_cast<CoreId>(c))));
+  }
+  sim::Cluster cluster{cc, std::move(sources)};
+  cluster.run(50'000);  // warm
+  for (auto _ : state) {
+    cluster.run(1000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+  state.counters["skip_frac"] =
+      static_cast<double>(cluster.skipped_cycles()) / static_cast<double>(cluster.now());
+}
+BENCHMARK(BM_ClusterRunEventSkip)->Arg(0)->Arg(1);
+
+/// One small DSE sweep through the thread pool (range arg = threads).
+void BM_SweepParallel(benchmark::State& state) {
+  power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  sim::ServerSimConfig cfg;
+  cfg.smarts.warm_instructions = 100'000;
+  cfg.smarts.warmup = 5'000;
+  cfg.smarts.measure = 10'000;
+  cfg.smarts.min_samples = 2;
+  cfg.smarts.max_samples = 3;
+  sim::ServerSimulator simulator{workload::WorkloadProfile::web_search(), platform, cfg};
+  const auto grid = sim::frequency_grid(mhz(400), ghz(2.0), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.sweep(grid, static_cast<int>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_SweepParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_WorkloadGenerator(benchmark::State& state) {
   workload::SyntheticWorkload gen{workload::WorkloadProfile::data_serving(), 11};
   for (auto _ : state) {

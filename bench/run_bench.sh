@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the perf microbench suite and archive the results as
+# BENCH_<date>.json (google-benchmark JSON), so the perf trajectory of
+# the simulator is tracked PR over PR.
+#
+# Usage: bench/run_bench.sh [build_dir] [out_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench/results}"
+bin="${build_dir}/bench/perf_microbench"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "error: ${bin} not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+out="${out_dir}/BENCH_$(date +%Y-%m-%d).json"
+
+"${bin}" \
+  --benchmark_format=json \
+  --benchmark_repetitions="${NTSERV_BENCH_REPS:-1}" \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json
+
+echo "wrote ${out}"

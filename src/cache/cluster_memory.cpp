@@ -170,6 +170,7 @@ void ClusterMemorySystem::issue_prefetch(CoreId core, AccessType type, Addr next
   miss.prefetch_core = core;
   miss.prefetch_type = fill_type;
   pending_.emplace(next_line, std::move(miss));
+  ++unissued_misses_;
   ++llc_mshr_used_[static_cast<std::size_t>(bank)];
   ++stats_.prefetches_issued;
   issue_pending_to_dram();
@@ -328,6 +329,7 @@ AccessTicket ClusterMemorySystem::access_impl(CoreId core, Addr addr, AccessType
   miss.want_exclusive = (type == AccessType::kStore);
   miss.waiters.push_back({core, type, user_tag});
   pending_.emplace(line, std::move(miss));
+  ++unissued_misses_;
   ++l1_mshr_used_[core];
   ++llc_mshr_used_[static_cast<std::size_t>(bank)];
   ++misses;
@@ -336,7 +338,8 @@ AccessTicket ClusterMemorySystem::access_impl(CoreId core, Addr addr, AccessType
   return {AccessTicket::Status::kMiss, 0};
 }
 
-void ClusterMemorySystem::issue_pending_to_dram() {
+bool ClusterMemorySystem::issue_pending_to_dram() {
+  bool issued = false;
   // Dirty-victim writebacks first (they free LLC MSHR-adjacent resources
   // and writes are posted).
   while (!writeback_q_.empty()) {
@@ -344,18 +347,25 @@ void ClusterMemorySystem::issue_pending_to_dram() {
     if (!dram_.enqueue(next_dram_id_, line, /*is_write=*/true)) break;
     ++next_dram_id_;
     writeback_q_.pop_front();
+    issued = true;
   }
+  if (unissued_misses_ == 0) return issued;
   for (auto& [line, miss] : pending_) {
     if (miss.issued_to_dram) continue;
     if (!dram_.enqueue(next_dram_id_, line, /*is_write=*/false)) continue;
     dram_id_to_line_[next_dram_id_] = line;
     ++next_dram_id_;
     miss.issued_to_dram = true;
+    --unissued_misses_;
+    issued = true;
   }
+  return issued;
 }
 
 void ClusterMemorySystem::handle_dram_completions(Cycle core_now) {
-  for (const auto& resp : dram_.drain_completions()) {
+  dram_resp_scratch_.clear();
+  dram_.drain_completions_into(dram_resp_scratch_);
+  for (const auto& resp : dram_resp_scratch_) {
     auto idit = dram_id_to_line_.find(resp.id);
     if (idit == dram_id_to_line_.end()) continue;  // posted write echo
     const Addr line = idit->second;
@@ -385,18 +395,70 @@ void ClusterMemorySystem::handle_dram_completions(Cycle core_now) {
 void ClusterMemorySystem::tick(Cycle core_now) {
   last_core_now_ = core_now;
   mem_accum_ += mem_per_core_cycle_;
+  bool acted = false;
   while (mem_accum_ >= 1.0) {
-    dram_.tick();
+    acted |= dram_.tick();
     mem_accum_ -= 1.0;
   }
   handle_dram_completions(core_now);
-  issue_pending_to_dram();
+  acted |= issue_pending_to_dram();
+  mem_acted_ = acted;
 }
 
 std::vector<MissCompletion> ClusterMemorySystem::drain_completions() {
   std::vector<MissCompletion> out;
   out.swap(completions_);
   return out;
+}
+
+void ClusterMemorySystem::drain_completions_into(std::vector<MissCompletion>& out) {
+  out.insert(out.end(), completions_.begin(), completions_.end());
+  completions_.clear();
+}
+
+void ClusterMemorySystem::fast_forward(Cycle core_cycles) {
+  // Replay the exact per-tick accumulation arithmetic (one add and one
+  // subtract at a time) so the floating-point phase matches the ticked
+  // path bit for bit; the DRAM cycles themselves are skipped wholesale.
+  Cycle mem_ticks = 0;
+  for (Cycle i = 0; i < core_cycles; ++i) {
+    mem_accum_ += mem_per_core_cycle_;
+    while (mem_accum_ >= 1.0) {
+      ++mem_ticks;
+      mem_accum_ -= 1.0;
+    }
+  }
+  dram_.skip(mem_ticks);
+  last_core_now_ += core_cycles;
+}
+
+Cycle ClusterMemorySystem::next_event_core_cycle(Cycle core_now) const {
+  if (!completions_.empty()) return core_now;
+  // Anything enqueueable to DRAM acts on the very next tick.
+  if (!writeback_q_.empty() && dram_.can_accept(writeback_q_.front(), /*is_write=*/true)) {
+    return core_now;
+  }
+  if (unissued_misses_ > 0) {
+    for (const auto& [line, miss] : pending_) {
+      if (!miss.issued_to_dram && dram_.can_accept(line, /*is_write=*/false)) {
+        return core_now;
+      }
+    }
+  }
+
+  const Cycle mem_event = dram_.next_event_cycle();
+  if (mem_event == kNeverCycle) return kNeverCycle;
+  const Cycle mem_now = dram_.now();
+  if (mem_event < mem_now) return core_now;
+
+  // The tick at core cycle core_now + (k-1) executes memory cycles up to
+  // floor(mem_accum_ + k * ratio) past mem_now; find the smallest k that
+  // reaches mem_event. The epsilon biases the estimate early, which is
+  // safe: an early wake is a no-op tick followed by a re-estimate.
+  const double need = static_cast<double>(mem_event - mem_now + 1) - mem_accum_;
+  if (need <= mem_per_core_cycle_) return core_now;
+  const double k = std::ceil(need / mem_per_core_cycle_ - 1e-9);
+  return core_now + static_cast<Cycle>(k) - 1;
 }
 
 void ClusterMemorySystem::reset_stats() {

@@ -124,8 +124,28 @@ class ClusterMemorySystem {
   /// Advance one core cycle; drives the DRAM clock domain underneath.
   void tick(Cycle core_now);
 
+  /// Jump `core_cycles` core cycles forward over a window verified (via
+  /// next_event_core_cycle) to contain no memory-system activity. Performs
+  /// the same clock-domain accumulation arithmetic as per-cycle ticking,
+  /// so the core/memory phase stays bit-identical to the ticked path.
+  void fast_forward(Cycle core_cycles);
+
+  /// Earliest core cycle >= `core_now` at whose tick the memory system
+  /// might change state (DRAM event, completion delivery, or a pending
+  /// request becoming enqueueable). Returns `core_now` when the next tick
+  /// already has work; kNeverCycle when only core-side events remain.
+  [[nodiscard]] Cycle next_event_core_cycle(Cycle core_now) const;
+
+  /// True when the last tick() did any memory-system work (DRAM command,
+  /// burst retire, completion delivery, or DRAM enqueue). Cheap gate for
+  /// the cluster's skip attempts.
+  [[nodiscard]] bool acted_last_tick() const { return mem_acted_; }
+
   /// Miss completions discovered since the last drain.
   std::vector<MissCompletion> drain_completions();
+
+  /// Allocation-free drain: append completions to `out` and clear.
+  void drain_completions_into(std::vector<MissCompletion>& out);
 
   [[nodiscard]] const HierarchyStats& stats() const { return stats_; }
   [[nodiscard]] const dram::DramSystem& dram() const { return dram_; }
@@ -186,7 +206,8 @@ class ClusterMemorySystem {
   AccessTicket access_impl(CoreId core, Addr addr, AccessType type, std::uint64_t user_tag,
                            Cycle now, bool& l1_missed);
 
-  void issue_pending_to_dram();
+  /// Returns true when at least one request or writeback was enqueued.
+  bool issue_pending_to_dram();
   void handle_dram_completions(Cycle core_now);
 
   HierarchyParams params_;
@@ -204,6 +225,7 @@ class ClusterMemorySystem {
   std::vector<int> l1_mshr_used_;                ///< per-core outstanding
   std::vector<int> llc_mshr_used_;               ///< per-bank outstanding
   std::unordered_map<Addr, PendingMiss> pending_;  ///< keyed by line addr
+  int unissued_misses_ = 0;  ///< pending_ entries with issued_to_dram unset
   std::uint64_t next_dram_id_ = 1;
   std::unordered_map<std::uint64_t, Addr> dram_id_to_line_;
 
@@ -211,8 +233,10 @@ class ClusterMemorySystem {
   std::deque<Addr> writeback_q_;
 
   std::vector<MissCompletion> completions_;
+  std::vector<dram::MemResponse> dram_resp_scratch_;  ///< reused per tick
   HierarchyStats stats_;
   Cycle last_core_now_ = 0;
+  bool mem_acted_ = false;
 };
 
 }  // namespace ntserv::cache

@@ -17,6 +17,17 @@
 
 namespace ntserv {
 
+/// One SplitMix64 step: derive an independent stream seed from a base
+/// seed and a salt. Used to give every operating point of a DSE sweep
+/// its own deterministic stream — a pure function of (base, salt), so
+/// results are identical however the sweep is ordered or threaded.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 class Xoshiro256StarStar {
  public:

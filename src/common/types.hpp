@@ -9,6 +9,10 @@ namespace ntserv {
 /// at the point of use).
 using Cycle = std::uint64_t;
 
+/// Sentinel for "no scheduled event": farther than any reachable cycle.
+/// Used by the event-skipping kernel's next_event_cycle() hints.
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 /// Physical byte address in the simulated machine.
 using Addr = std::uint64_t;
 

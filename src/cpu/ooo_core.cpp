@@ -45,13 +45,27 @@ const OooCore::RobEntry* OooCore::find_producer(std::uint64_t seq, std::uint16_t
   return const_cast<OooCore*>(this)->find_producer(seq, dist);
 }
 
-bool OooCore::operands_ready(const RobEntry& e, Cycle now) const {
+Cycle OooCore::operands_ready_time(const RobEntry& e, Cycle now) const {
+  Cycle t = 0;
   for (std::uint16_t d : e.op.src_dist) {
     const RobEntry* p = find_producer(e.seq, d);
     if (p == nullptr) continue;  // committed or no dependency
-    if (p->state == State::kWaiting || !p->ready_known || p->ready_at > now) return false;
+    Cycle cand;
+    if (p->state == State::kWaiting) {
+      // The producer itself cannot issue before its own bound, and its
+      // result lands at least one cycle after it issues. Producers are
+      // earlier in program order, so the issue scan has already updated
+      // their bound this cycle.
+      cand = p->not_before >= kNeverCycle - 1 ? kNeverCycle
+                                              : std::max(p->not_before, now) + 1;
+    } else if (!p->ready_known) {
+      cand = kNeverCycle;  // miss-pending: re-bounded on completion
+    } else {
+      cand = p->ready_at;
+    }
+    t = std::max(t, cand);
   }
-  return true;
+  return t;
 }
 
 bool OooCore::claim_fu(UopType type, Cycle now, Cycle* latency) {
@@ -152,60 +166,89 @@ void OooCore::do_fetch(Cycle now) {
   }
 }
 
-void OooCore::do_issue(Cycle now) {
-  int issued = 0;
-  for (auto& e : rob_) {
-    if (issued >= params_.width) break;
-    if (e.state != State::kWaiting) continue;
-    if (!operands_ready(e, now)) continue;
-
-    if (e.op.type == UopType::kLoad) {
-      // Store-to-load forwarding: youngest older store to the same word.
-      bool forwarded = false;
-      const std::uint64_t head_seq = rob_.front().seq;
-      for (std::uint64_t s = e.seq; s-- > head_seq;) {
-        const RobEntry& older = rob_[static_cast<std::size_t>(s - head_seq)];
-        if (older.op.type != UopType::kStore) continue;
-        if (older.state == State::kWaiting) continue;  // address unknown
-        if ((older.op.mem_addr & ~7ull) == (e.op.mem_addr & ~7ull)) {
-          e.state = State::kIssued;
-          e.ready_known = true;
-          e.ready_at = now + params_.forward_latency;
-          ++stats_.load_forwards;
-          ++stats_.issued;
-          ++issued;
-          forwarded = true;
-          break;
-        }
-      }
-      if (forwarded) continue;
-
-      Cycle lat = 0;
-      if (!claim_fu(UopType::kLoad, now, &lat)) continue;
-      const auto ticket =
-          memory_.access(id_, e.op.mem_addr, cache::AccessType::kLoad, e.seq, now);
-      if (ticket.status == cache::AccessTicket::Status::kRejected) continue;
-      e.state = State::kIssued;
-      if (ticket.status == cache::AccessTicket::Status::kHit) {
+bool OooCore::try_issue_entry(RobEntry& e, Cycle now) {
+  if (e.op.type == UopType::kLoad) {
+    // Store-to-load forwarding: youngest older store to the same word.
+    const std::uint64_t head_seq = rob_.front().seq;
+    for (std::uint64_t s = e.seq; s-- > head_seq;) {
+      const RobEntry& older = rob_[static_cast<std::size_t>(s - head_seq)];
+      if (older.op.type != UopType::kStore) continue;
+      if (older.state == State::kWaiting) continue;  // address unknown
+      if ((older.op.mem_addr & ~7ull) == (e.op.mem_addr & ~7ull)) {
+        e.state = State::kIssued;
         e.ready_known = true;
-        e.ready_at = ticket.complete_at;
-      } else {
-        e.ready_known = false;
+        e.ready_at = now + params_.forward_latency;
+        ++stats_.load_forwards;
+        ++stats_.issued;
+        return true;
       }
-      ++stats_.issued;
-      ++issued;
-      continue;
     }
 
     Cycle lat = 0;
-    if (!claim_fu(e.op.type, now, &lat)) continue;
+    if (!claim_fu(UopType::kLoad, now, &lat)) return false;
+    const auto ticket =
+        memory_.access(id_, e.op.mem_addr, cache::AccessType::kLoad, e.seq, now);
+    if (ticket.status == cache::AccessTicket::Status::kRejected) return false;
     e.state = State::kIssued;
-    e.ready_known = true;
-    e.ready_at = now + std::max<Cycle>(lat, 1);
+    if (ticket.status == cache::AccessTicket::Status::kHit) {
+      e.ready_known = true;
+      e.ready_at = ticket.complete_at;
+    } else {
+      e.ready_known = false;
+    }
     ++stats_.issued;
-    ++issued;
-
+    return true;
   }
+
+  Cycle lat = 0;
+  if (!claim_fu(e.op.type, now, &lat)) return false;
+  e.state = State::kIssued;
+  e.ready_known = true;
+  e.ready_at = now + std::max<Cycle>(lat, 1);
+  ++stats_.issued;
+  return true;
+}
+
+void OooCore::do_issue(Cycle now) {
+  if (rob_.empty()) return;
+  const std::uint64_t head_seq = rob_.front().seq;
+  const std::size_t start =
+      first_waiting_seq_ > head_seq ? static_cast<std::size_t>(first_waiting_seq_ - head_seq)
+                                    : 0;
+  int issued = 0;
+  std::uint64_t first_still_waiting = next_seq_;
+  bool have_first = false;
+  auto it = rob_.begin() + static_cast<std::ptrdiff_t>(std::min(start, rob_.size()));
+  for (; it != rob_.end(); ++it) {
+    RobEntry& e = *it;
+    if (issued >= params_.width) {
+      if (!have_first) first_still_waiting = e.seq;  // unscanned tail starts here
+      have_first = true;
+      break;
+    }
+    if (e.state != State::kWaiting) continue;
+    bool still_waiting = true;
+    if (e.operands_ok) {
+      still_waiting = !try_issue_entry(e, now);
+    } else if (now < e.not_before) {
+      // cached: operands provably not ready yet
+    } else {
+      const Cycle ready = operands_ready_time(e, now);
+      if (ready > now) {
+        e.not_before = ready;  // valid until a completion re-bounds it
+      } else {
+        e.operands_ok = true;  // readiness is monotone: never re-walk
+        still_waiting = !try_issue_entry(e, now);
+      }
+    }
+    if (!still_waiting) {
+      ++issued;
+    } else if (!have_first) {
+      first_still_waiting = e.seq;
+      have_first = true;
+    }
+  }
+  first_waiting_seq_ = first_still_waiting;
 }
 
 void OooCore::do_commit(Cycle now) {
@@ -225,6 +268,7 @@ void OooCore::do_commit(Cycle now) {
       ++stats_.loads;
     }
     ++stats_.committed_total;
+    if (commit_counter_ != nullptr) ++*commit_counter_;
     if (head.op.is_user) ++stats_.committed_user;
     rob_.pop_front();
   }
@@ -243,9 +287,11 @@ void OooCore::on_miss_completion(std::uint64_t user_tag, Cycle done) {
   if (user_tag & kTagIFetch) {
     ifetch_outstanding_ = false;
     fetch_blocked_until_ = std::max(fetch_blocked_until_, done);
+    quiet_until_ = std::min(quiet_until_, done);
     return;
   }
   if (user_tag & kTagStore) return;  // posted store echo
+  quiet_until_ = std::min(quiet_until_, done);
 
   if (rob_.empty()) return;
   const std::uint64_t head_seq = rob_.front().seq;
@@ -256,14 +302,110 @@ void OooCore::on_miss_completion(std::uint64_t user_tag, Cycle done) {
   NTSERV_ENSURES(e.seq == user_tag, "ROB sequence bookkeeping corrupt");
   e.ready_known = true;
   e.ready_at = done;
+  // Re-bound operand caches pinned on pending misses: dependents of this
+  // load can become ready from `done` on. Entries before the first
+  // waiting seq are not waiting, so start the walk there.
+  const std::uint64_t first = std::max(first_waiting_seq_, head_seq);
+  for (std::size_t i = static_cast<std::size_t>(first - head_seq); i < rob_.size(); ++i) {
+    RobEntry& w = rob_[i];
+    if (w.state == State::kWaiting && w.not_before > done) w.not_before = done;
+  }
 }
 
 void OooCore::tick(Cycle now) {
   ++stats_.cycles;
+  if (event_skipping_ && now < quiet_until_) {
+    // Proven no-op tick: only the clock and the stall counters advance
+    // (same bookkeeping the full pipeline walk would have done).
+    if (ifetch_outstanding_ || fetch_blocked_until_ > now) {
+      ++stats_.fetch_stall_cycles;
+    } else if (rob_.size() >= static_cast<std::size_t>(params_.rob_entries)) {
+      ++stats_.rob_full_cycles;
+    }
+    made_progress_ = false;
+    return;
+  }
+  const std::uint64_t committed0 = stats_.committed_total;
+  const std::uint64_t issued0 = stats_.issued;
+  const std::uint64_t seq0 = next_seq_;
+  const std::size_t sb0 = store_buffer_.size();
   do_commit(now);
   drain_store_buffer(now);
   do_issue(now);
   do_fetch(now);
+  made_progress_ = stats_.committed_total != committed0 || stats_.issued != issued0 ||
+                   next_seq_ != seq0 || store_buffer_.size() != sb0;
+  if (event_skipping_ && !made_progress_) quiet_until_ = next_event_cycle(now + 1);
+}
+
+Cycle OooCore::next_event_cycle(Cycle now) const {
+  // A previously proven quiet window is itself a (conservative) bound.
+  if (now < quiet_until_) return quiet_until_;
+
+  // The store buffer retries memory every cycle until accepted.
+  if (!store_buffer_.empty()) return now;
+
+  Cycle next = kNeverCycle;
+
+  // Commit: the head retires at its completion stamp.
+  if (!rob_.empty()) {
+    const RobEntry& head = rob_.front();
+    if (head.state == State::kIssued && head.ready_known) {
+      if (head.ready_at <= now) return now;
+      next = std::min(next, head.ready_at);
+    }
+  }
+
+  // Issue: earliest operand-readiness among waiting entries (kNever-
+  // bounded entries wake via a miss completion, which caps quiet_until_).
+  // An entry whose operands are already ready must tick every cycle (it
+  // may be FU-limited or memory-rejected and retries).
+  if (!rob_.empty()) {
+    const std::uint64_t head_seq = rob_.front().seq;
+    const std::uint64_t first = std::max(first_waiting_seq_, head_seq);
+    for (std::size_t i = static_cast<std::size_t>(first - head_seq); i < rob_.size(); ++i) {
+      const RobEntry& e = rob_[i];
+      if (e.state != State::kWaiting) continue;
+      if (e.operands_ok) return now;  // ready: may be FU-limited, must tick
+      Cycle ready = e.not_before;
+      if (ready <= now) {
+        ready = operands_ready_time(e, now);
+        if (ready <= now) return now;
+      }
+      if (ready != kNeverCycle) next = std::min(next, ready);
+    }
+  }
+
+  // Fetch: live every cycle unless hard-blocked. Structural gates (ROB,
+  // load/store queue) release at commit, which the head term covers.
+  if (!ifetch_outstanding_) {
+    if (fetch_blocked_until_ > now) {
+      next = std::min(next, fetch_blocked_until_);
+    } else if (rob_.size() >= static_cast<std::size_t>(params_.rob_entries)) {
+      // ROB-full: wakes with commit.
+    } else if (staged_ && staged_->type == UopType::kLoad &&
+               loads_in_flight_ >= params_.load_queue) {
+      // Load-queue-full: wakes with commit.
+    } else if (staged_ && staged_->type == UopType::kStore &&
+               stores_in_window_ >= params_.store_queue) {
+      // Store-queue-full: wakes with commit.
+    } else {
+      return now;
+    }
+  }
+  return next;
+}
+
+void OooCore::note_idle_cycles(Cycle now, Cycle cycles) {
+  stats_.cycles += cycles;
+  // Replicate do_fetch's per-cycle stall accounting. The caller never
+  // skips across fetch_blocked_until_, so the gate is constant over the
+  // whole window.
+  if (ifetch_outstanding_ || fetch_blocked_until_ > now) {
+    stats_.fetch_stall_cycles += cycles;
+  } else if (rob_.size() >= static_cast<std::size_t>(params_.rob_entries)) {
+    stats_.rob_full_cycles += cycles;
+  }
 }
 
 }  // namespace ntserv::cpu

@@ -107,6 +107,31 @@ class OooCore {
   /// Deliver a memory-miss completion (matched by user tag).
   void on_miss_completion(std::uint64_t user_tag, Cycle done);
 
+  /// Earliest cycle >= `now` at which tick() would do any work. Returns
+  /// `now` when the core is active (the next tick fetches, issues,
+  /// commits, or retries something), a later cycle when the core sleeps
+  /// until a known internal timestamp (ROB wakeup, commit, redirect
+  /// refill), or kNeverCycle when it is blocked purely on memory-miss
+  /// completions. Drives the cluster's event-skipping kernel.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// Account `cycles` skipped stall cycles starting at `now` (the caller
+  /// verified via next_event_cycle that tick() is a no-op throughout),
+  /// replicating the per-cycle stall counters the ticked path increments.
+  void note_idle_cycles(Cycle now, Cycle cycles);
+
+  /// Attach a cluster-level running commit counter, bumped on every
+  /// committed uop (so the cluster never re-sums per-core stats).
+  void set_commit_counter(std::uint64_t* counter) { commit_counter_ = counter; }
+
+  /// Enable/disable the core-local event skip (the cluster wires its
+  /// ClusterConfig::event_skipping flag through; off = pure ticked path).
+  void set_event_skipping(bool on) { event_skipping_ = on; }
+
+  /// True when the last tick() committed, issued, fetched, or drained
+  /// anything. Cheap gate for the cluster's skip attempts.
+  [[nodiscard]] bool made_progress() const { return made_progress_; }
+
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] const GsharePredictor& predictor() const { return bpred_; }
   void reset_stats();
@@ -123,6 +148,13 @@ class OooCore {
     bool ready_known = false;  ///< false while a miss is outstanding
     std::uint64_t seq = 0;
     bool mispredicted = false;
+    /// Operand-readiness caches. Readiness is monotone (an issued
+    /// producer's ready_at never changes, commits only retire producers),
+    /// so once proven ready it stays ready (operands_ok); until then
+    /// not_before lower-bounds the next cycle worth re-examining
+    /// (kNever-pinned entries are re-bounded by miss completions).
+    bool operands_ok = false;
+    Cycle not_before = 0;
   };
 
   void do_fetch(Cycle now);
@@ -130,9 +162,17 @@ class OooCore {
   void do_commit(Cycle now);
   void drain_store_buffer(Cycle now);
 
-  [[nodiscard]] bool operands_ready(const RobEntry& e, Cycle now) const;
+  /// Earliest cycle the entry's operands can all be ready: <= now when
+  /// ready now, kNeverCycle when gated by a miss-pending producer (the
+  /// completion walk in on_miss_completion re-bounds those). Bounds from
+  /// still-waiting producers propagate through their own not_before.
+  [[nodiscard]] Cycle operands_ready_time(const RobEntry& e, Cycle now) const;
   [[nodiscard]] RobEntry* find_producer(std::uint64_t seq, std::uint16_t dist);
   [[nodiscard]] const RobEntry* find_producer(std::uint64_t seq, std::uint16_t dist) const;
+
+  /// Attempt to issue one waiting entry; returns true when it issued
+  /// (and so leaves the waiting index).
+  bool try_issue_entry(RobEntry& e, Cycle now);
 
   /// Try to claim a functional unit of the uop's class; updates busy state.
   bool claim_fu(UopType type, Cycle now, Cycle* latency);
@@ -145,6 +185,10 @@ class OooCore {
 
   std::deque<RobEntry> rob_;
   std::uint64_t next_seq_ = 0;
+  /// Seq of the oldest still-waiting ROB entry (== next_seq_ when none):
+  /// the issue and wake-up scans start here, skipping the issued prefix
+  /// that is only waiting to commit.
+  std::uint64_t first_waiting_seq_ = 0;
 
   /// Fetch gating.
   Cycle fetch_blocked_until_ = 0;
@@ -161,6 +205,15 @@ class OooCore {
   int loads_in_flight_ = 0;
   int stores_in_window_ = 0;
 
+  std::uint64_t* commit_counter_ = nullptr;
+  bool made_progress_ = true;
+  bool event_skipping_ = true;
+  /// Core-local event skip: tick() proved itself a no-op until this
+  /// cycle (set after a no-progress tick from next_event_cycle; capped
+  /// by arriving miss completions), so ticks before it only advance the
+  /// clock and stall counters. Works per core, independent of whether
+  /// the rest of the cluster is busy.
+  Cycle quiet_until_ = 0;
   CoreStats stats_;
 };
 

@@ -43,6 +43,7 @@ DramCoord AddressMapper::decode(Addr line_addr) const {
       c.row = static_cast<std::uint32_t>(v % g.rows);
       break;
   }
+  c.flat = c.flat_bank(g);
   return c;
 }
 

@@ -14,6 +14,9 @@ struct DramCoord {
   int rank = 0;
   int bank_group = 0;
   int bank = 0;  ///< bank index within its group
+  /// Flat bank index within the rank, cached at decode time so the channel
+  /// scheduler never recomputes it on the per-cycle path.
+  int flat = 0;
   std::uint32_t row = 0;
   std::uint32_t column = 0;  ///< line-sized column within the row
 

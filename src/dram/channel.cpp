@@ -12,6 +12,7 @@ Channel::Channel(const DramConfig& config, const AddressMapper& mapper)
   ranks_.resize(static_cast<std::size_t>(g.ranks_per_channel));
   for (auto& r : ranks_) {
     r.banks.resize(static_cast<std::size_t>(g.banks_per_rank()));
+    r.group_next_act.assign(static_cast<std::size_t>(g.bank_groups), 0);
     r.next_refresh_due = config_.timing.trefi;
   }
 }
@@ -23,21 +24,23 @@ bool Channel::can_accept(bool is_write) const {
 
 void Channel::enqueue(const MemRequest& req, Cycle now) {
   NTSERV_EXPECTS(can_accept(req.is_write), "channel queue overflow");
+  quiet_until_ = 0;  // a new request may enable an immediate command
   Pending p{req, mapper_.decode(req.line_addr)};
   p.req.arrival = now;
   // Write forwarding: a read that hits a queued write is serviced from the
   // write queue (the data is newer than the array's).
   if (!req.is_write) {
-    for (const auto& w : write_q_) {
-      if (w.req.line_addr == req.line_addr) {
-        completions_.push_back({req.id, now + 1});
-        ++stats_.read_count;  // count as a (zero-ish latency) read
-        ++stats_.read_latency_sum;
-        return;
-      }
+    if (write_lines_.find(req.line_addr) != write_lines_.end()) {
+      constexpr Cycle kForwardLatency = 1;  // one cycle to mux out of the queue
+      completions_.push_back({req.id, p.req.arrival + kForwardLatency});
+      ++stats_.read_count;
+      stats_.read_latency_sum += kForwardLatency;
+      ++stats_.forwarded_reads;
+      return;
     }
     read_q_.push_back(std::move(p));
   } else {
+    ++write_lines_[p.req.line_addr];
     write_q_.push_back(std::move(p));
   }
 }
@@ -48,8 +51,19 @@ std::vector<MemResponse> Channel::drain_completions() {
   return out;
 }
 
+void Channel::drain_completions_into(std::vector<MemResponse>& out) {
+  out.insert(out.end(), completions_.begin(), completions_.end());
+  completions_.clear();
+}
+
 Cycle Channel::act_allowed_at(const Rank& r, const DramCoord& c) const {
-  Cycle t = r.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))].next_act;
+  Cycle t = r.banks[static_cast<std::size_t>(c.flat)].next_act;
+  // tRRD: ACT-to-ACT spacing from previous ACTs to other banks. The
+  // acting bank's own tRC stamp always dominates its own tRRD gates, so
+  // applying the rank-level gates to every bank is behaviour-identical to
+  // the old per-bank broadcast.
+  t = std::max(t, r.next_act_any);
+  t = std::max(t, r.group_next_act[static_cast<std::size_t>(c.bank_group)]);
   t = std::max(t, r.busy_until);
   // tFAW: at most four ACTs per rank in any tFAW window.
   if (r.act_window.size() >= 4) {
@@ -60,7 +74,7 @@ Cycle Channel::act_allowed_at(const Rank& r, const DramCoord& c) const {
 
 void Channel::do_activate(const DramCoord& c, Cycle now) {
   auto& rank = ranks_[static_cast<std::size_t>(c.rank)];
-  auto& bank = rank.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))];
+  auto& bank = rank.banks[static_cast<std::size_t>(c.flat)];
   const auto& t = config_.timing;
 
   bank.active = true;
@@ -69,15 +83,9 @@ void Channel::do_activate(const DramCoord& c, Cycle now) {
   bank.next_cas = now + t.trcd;
   bank.next_act = now + t.trc;
 
-  // tRRD: ACT-to-ACT spacing to *other* banks of the same rank.
-  for (int g = 0; g < config_.geometry.bank_groups; ++g) {
-    for (int b = 0; b < config_.geometry.banks_per_group; ++b) {
-      const auto idx = static_cast<std::size_t>(g * config_.geometry.banks_per_group + b);
-      if (idx == static_cast<std::size_t>(c.flat_bank(config_.geometry))) continue;
-      const Cycle spacing = (g == c.bank_group) ? t.trrd_l : t.trrd_s;
-      rank.banks[idx].next_act = std::max(rank.banks[idx].next_act, now + spacing);
-    }
-  }
+  rank.next_act_any = std::max(rank.next_act_any, now + t.trrd_s);
+  auto& group_gate = rank.group_next_act[static_cast<std::size_t>(c.bank_group)];
+  group_gate = std::max(group_gate, now + t.trrd_l);
 
   rank.act_window.push_back(now);
   while (rank.act_window.size() > 8) rank.act_window.pop_front();
@@ -86,7 +94,7 @@ void Channel::do_activate(const DramCoord& c, Cycle now) {
 
 void Channel::do_precharge(const DramCoord& c, Cycle now) {
   auto& rank = ranks_[static_cast<std::size_t>(c.rank)];
-  auto& bank = rank.banks[static_cast<std::size_t>(c.flat_bank(config_.geometry))];
+  auto& bank = rank.banks[static_cast<std::size_t>(c.flat)];
   bank.active = false;
   bank.next_act = std::max(bank.next_act, now + config_.timing.trp);
   ++stats_.precharges;
@@ -94,8 +102,7 @@ void Channel::do_precharge(const DramCoord& c, Cycle now) {
 
 bool Channel::cas_ready(const Pending& p, bool is_write, Cycle now) const {
   const auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
-  const auto& bank =
-      rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+  const auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat)];
   if (!bank.active || bank.open_row != p.coord.row) return false;
   if (now < bank.next_cas || now < rank.busy_until) return false;
   if (now < (is_write ? rank.next_wr : rank.next_rd)) return false;
@@ -115,7 +122,7 @@ bool Channel::cas_ready(const Pending& p, bool is_write, Cycle now) const {
 
 void Channel::do_cas(const Pending& p, bool is_write, Cycle now) {
   auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
-  auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+  auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat)];
   const auto& t = config_.timing;
 
   const Cycle data_start = now + (is_write ? t.cwl : t.cl);
@@ -161,6 +168,7 @@ bool Channel::try_refresh(Cycle now) {
         c.rank = static_cast<int>(&rank - ranks_.data());
         c.bank_group = static_cast<int>(b) / config_.geometry.banks_per_group;
         c.bank = static_cast<int>(b) % config_.geometry.banks_per_group;
+        c.flat = static_cast<int>(b);
         do_precharge(c, now);
         return true;  // consumed this cycle's command slot
       }
@@ -191,6 +199,10 @@ bool Channel::try_issue_cas(std::deque<Pending>& q, bool is_write, Cycle now) {
     if (config_.scheduler == SchedulerKind::kFcfs && it != q.begin()) break;
     if (!it->needed_act) ++stats_.row_hits;  // served from the open row
     do_cas(*it, is_write, now);
+    if (is_write) {
+      auto wit = write_lines_.find(it->req.line_addr);
+      if (wit != write_lines_.end() && --wit->second == 0) write_lines_.erase(wit);
+    }
     q.erase(it);
     return true;
   }
@@ -202,7 +214,7 @@ bool Channel::try_issue_activate_or_precharge(std::deque<Pending>& q, Cycle now)
   for (std::size_t i = 0; i < scan_limit && i < q.size(); ++i) {
     auto& p = q[i];
     auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
-    auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat_bank(config_.geometry))];
+    auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat)];
     if (now < rank.busy_until) continue;
 
     if (!bank.active) {
@@ -227,7 +239,9 @@ bool Channel::try_issue_activate_or_precharge(std::deque<Pending>& q, Cycle now)
   return false;
 }
 
-void Channel::tick(Cycle now) {
+bool Channel::tick(Cycle now) {
+  if (now < quiet_until_) return false;  // proven no-op tick
+  bool acted = false;
   // Retire finished read bursts.
   for (std::size_t i = 0; i < in_flight_.size();) {
     if (in_flight_[i].done <= now) {
@@ -236,13 +250,14 @@ void Channel::tick(Cycle now) {
       ++stats_.read_count;
       in_flight_[i] = in_flight_.back();
       in_flight_.pop_back();
+      acted = true;
     } else {
       ++i;
     }
   }
 
   // Refresh has absolute priority (data integrity).
-  if (try_refresh(now)) return;
+  if (try_refresh(now)) return true;
 
   // Write-drain hysteresis: switch to writes above the high watermark or
   // when there is nothing else to do; back to reads below the low watermark.
@@ -262,10 +277,103 @@ void Channel::tick(Cycle now) {
   auto& secondary = draining_writes_ ? read_q_ : write_q_;
   const bool primary_is_write = draining_writes_;
 
-  if (try_issue_cas(primary, primary_is_write, now)) return;
-  if (try_issue_activate_or_precharge(primary, now)) return;
+  if (try_issue_cas(primary, primary_is_write, now)) return true;
+  if (try_issue_activate_or_precharge(primary, now)) return true;
   // Opportunistic CAS for the other direction if the primary is stalled.
-  if (try_issue_cas(secondary, !primary_is_write, now)) return;
+  if (try_issue_cas(secondary, !primary_is_write, now)) return true;
+  if (!acted && config_.event_skipping) quiet_until_ = next_event_cycle(now + 1);
+  return acted;
+}
+
+bool Channel::effective_draining_writes() const {
+  // Mirror of tick()'s hysteresis update. Queue sizes are frozen while
+  // the channel is quiet, and the update is idempotent for fixed sizes,
+  // so one step gives the direction every quiet tick would settle on.
+  if (draining_writes_) {
+    return !(write_q_.size() <= static_cast<std::size_t>(config_.write_drain_low_watermark) &&
+             !read_q_.empty());
+  }
+  return write_q_.size() >= static_cast<std::size_t>(config_.write_drain_high_watermark) ||
+         (read_q_.empty() && !write_q_.empty());
+}
+
+Cycle Channel::next_event_cycle(Cycle from) const {
+  // A previously proven quiet window is itself a (conservative) bound.
+  if (from < quiet_until_) return quiet_until_;
+  if (!completions_.empty()) return from;  // drain pending
+  Cycle next = kNeverCycle;
+  const auto& t = config_.timing;
+
+  // Read bursts in flight retire at their done stamps.
+  for (const auto& f : in_flight_) next = std::min(next, f.done);
+
+  // Refresh: per rank, either the bank-closing PREs or the REF itself.
+  for (const auto& r : ranks_) {
+    const Cycle due = std::max(r.next_refresh_due, r.busy_until);
+    bool any_active = false;
+    Cycle pre_ready = kNeverCycle;  // earliest PRE among still-open banks
+    Cycle all_act = 0;              // REF is gated like an ACT on every bank
+    for (const auto& b : r.banks) {
+      if (b.active) {
+        any_active = true;
+        pre_ready = std::min(pre_ready, b.next_pre);
+      }
+      all_act = std::max(all_act, b.next_act);
+    }
+    next = std::min(next, std::max(due, any_active ? pre_ready : all_act));
+  }
+
+  // Earliest CAS a queued request could issue (exact mirror of cas_ready's
+  // timing terms; requests needing ACT/PRE first are handled below).
+  auto cas_enable = [&](const Pending& p, bool is_write) {
+    const auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
+    const auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat)];
+    if (!bank.active || bank.open_row != p.coord.row) return kNeverCycle;
+    Cycle e = std::max(bank.next_cas, rank.busy_until);
+    e = std::max(e, is_write ? rank.next_wr : rank.next_rd);
+    e = std::max(e, p.coord.bank_group == last_cas_group_ ? next_cas_same_group_
+                                                          : next_cas_other_group_);
+    Cycle bus = data_bus_free_;
+    if (last_cas_rank_ >= 0 && last_cas_rank_ != p.coord.rank) bus += t.trtrs;
+    const Cycle cas_lat = is_write ? t.cwl : t.cl;
+    if (bus > cas_lat) e = std::max(e, bus - cas_lat);
+    return e;
+  };
+  // Earliest bank-state change a request could force. Scanning every
+  // request (not just the scheduler's scan window) only produces earlier
+  // stamps, which is safe: an early wake is a no-op tick, never a miss.
+  auto actpre_enable = [&](const Pending& p) {
+    const auto& rank = ranks_[static_cast<std::size_t>(p.coord.rank)];
+    const auto& bank = rank.banks[static_cast<std::size_t>(p.coord.flat)];
+    if (!bank.active) return act_allowed_at(rank, p.coord);
+    if (bank.open_row != p.coord.row) return std::max(bank.next_pre, rank.busy_until);
+    return kNeverCycle;  // row hit: the CAS term covers it
+  };
+
+  const bool draining = effective_draining_writes();
+  const auto& primary = draining ? write_q_ : read_q_;
+  const auto& secondary = draining ? read_q_ : write_q_;
+  const bool fcfs = config_.scheduler == SchedulerKind::kFcfs;
+  if (!primary.empty()) {
+    if (fcfs) {
+      next = std::min(next, cas_enable(primary.front(), draining));
+      next = std::min(next, actpre_enable(primary.front()));
+    } else {
+      for (const auto& p : primary) {
+        next = std::min(next, cas_enable(p, draining));
+        next = std::min(next, actpre_enable(p));
+      }
+    }
+  }
+  if (!secondary.empty()) {
+    // Opportunistic CAS pass for the other direction runs every tick.
+    if (fcfs) {
+      next = std::min(next, cas_enable(secondary.front(), !draining));
+    } else {
+      for (const auto& p : secondary) next = std::min(next, cas_enable(p, !draining));
+    }
+  }
+  return std::max(next, from);
 }
 
 }  // namespace ntserv::dram

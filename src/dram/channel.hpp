@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -40,6 +41,7 @@ struct ChannelStats {
   std::uint64_t data_bus_busy_cycles = 0;
   std::uint64_t read_latency_sum = 0;  ///< enqueue -> data, memory cycles
   std::uint64_t read_count = 0;
+  std::uint64_t forwarded_reads = 0;  ///< reads served from the write queue
 
   [[nodiscard]] double row_hit_rate() const {
     const auto total = row_hits + row_misses + row_conflicts;
@@ -64,11 +66,22 @@ class Channel {
   void enqueue(const MemRequest& req, Cycle now);
 
   /// Advance one memory-clock cycle: issue at most one command, retire
-  /// finished reads into the completion list.
-  void tick(Cycle now);
+  /// finished reads into the completion list. Returns true when the
+  /// channel did anything (the cluster's skip gate).
+  bool tick(Cycle now);
 
   /// Drain completions accumulated so far.
   [[nodiscard]] std::vector<MemResponse> drain_completions();
+
+  /// Allocation-free drain: append completions to `out` and clear.
+  void drain_completions_into(std::vector<MemResponse>& out);
+
+  /// Earliest memory cycle >= `from` at which this channel might act
+  /// (issue a command, retire a burst, or start a refresh). Returning
+  /// `from` means the channel is active right now; the bound is
+  /// conservative (never later than the true next event), so the
+  /// event-skipping kernel may wake early but never misses an event.
+  [[nodiscard]] Cycle next_event_cycle(Cycle from) const;
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t read_queue_size() const { return read_q_.size(); }
@@ -93,6 +106,11 @@ class Channel {
     Cycle busy_until = 0;  ///< tRFC window after REF
     Cycle next_rd = 0;     ///< rank-level read gating (tWTR etc.)
     Cycle next_wr = 0;
+    /// tRRD gates kept at rank level instead of broadcast into every
+    /// bank's next_act on each ACT: earliest next ACT to any bank
+    /// (tRRD_S) and to each bank group (tRRD_L).
+    Cycle next_act_any = 0;
+    std::vector<Cycle> group_next_act;
   };
 
   struct Pending {
@@ -121,7 +139,14 @@ class Channel {
 
   std::deque<Pending> read_q_;
   std::deque<Pending> write_q_;
+  /// Line -> occurrence count over write_q_, for O(1) write-forwarding
+  /// lookups in enqueue (replaces the linear write-queue scan).
+  std::unordered_map<Addr, int> write_lines_;
   bool draining_writes_ = false;
+
+  /// The write-drain direction tick() would settle on given the current
+  /// queue sizes (the hysteresis update is a one-step fixed point).
+  [[nodiscard]] bool effective_draining_writes() const;
 
   /// Reads whose data burst is in flight: (request, completion time).
   struct InFlight {
@@ -131,6 +156,10 @@ class Channel {
   };
   std::vector<InFlight> in_flight_;
   std::vector<MemResponse> completions_;
+
+  /// Channel-local event skip: tick() proved itself a no-op until this
+  /// cycle (recomputed after every idle tick; cleared on enqueue).
+  Cycle quiet_until_ = 0;
 
   Cycle data_bus_free_ = 0;  ///< first cycle the data bus is free
   int last_cas_rank_ = -1;   ///< for tRTRS rank-switch penalty

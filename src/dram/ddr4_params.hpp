@@ -98,6 +98,11 @@ struct DramConfig {
   AddressMapping mapping = AddressMapping::kRowRankBankColChan;
   PagePolicy page_policy = PagePolicy::kOpen;
   SchedulerKind scheduler = SchedulerKind::kFrFcfs;
+  /// Channel-local event skipping: after a tick with nothing to do, the
+  /// channel computes its next possible action and fast-paths the ticks
+  /// before it. Behaviour-identical (all state changes happen at
+  /// timestamp boundaries); off forces the pure cycle-by-cycle path.
+  bool event_skipping = true;
   /// Per-channel read-queue capacity.
   int read_queue_depth = 32;
   /// Per-channel write-queue capacity (writes drain when the queue passes

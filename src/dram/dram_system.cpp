@@ -1,5 +1,7 @@
 #include "dram/dram_system.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace ntserv::dram {
@@ -33,18 +35,29 @@ bool DramSystem::enqueue(std::uint64_t id, Addr line_addr, bool is_write) {
   return true;
 }
 
-void DramSystem::tick() {
-  for (auto& ch : channels_) ch->tick(now_);
+bool DramSystem::tick() {
+  bool acted = false;
+  for (auto& ch : channels_) acted |= ch->tick(now_);
   ++now_;
+  return acted;
 }
 
 std::vector<MemResponse> DramSystem::drain_completions() {
   std::vector<MemResponse> all;
-  for (auto& ch : channels_) {
-    auto part = ch->drain_completions();
-    all.insert(all.end(), part.begin(), part.end());
-  }
+  drain_completions_into(all);
   return all;
+}
+
+void DramSystem::drain_completions_into(std::vector<MemResponse>& out) {
+  for (auto& ch : channels_) ch->drain_completions_into(out);
+}
+
+Cycle DramSystem::next_event_cycle() const {
+  Cycle next = kNeverCycle;
+  for (const auto& ch : channels_) {
+    next = std::min(next, ch->next_event_cycle(now_));
+  }
+  return next;
 }
 
 bool DramSystem::idle() const {
@@ -64,6 +77,7 @@ DramSystemStats DramSystem::stats() const {
     s.reads += cs.reads_issued - base.reads_issued;
     s.writes += cs.writes_issued - base.writes_issued;
     s.refreshes += cs.refreshes - base.refreshes;
+    s.forwarded_reads += cs.forwarded_reads - base.forwarded_reads;
     hits += cs.row_hits - base.row_hits;
     misses += cs.row_misses - base.row_misses;
     conflicts += cs.row_conflicts - base.row_conflicts;

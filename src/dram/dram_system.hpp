@@ -22,6 +22,7 @@ struct DramSystemStats {
   double row_hit_rate = 0.0;
   double avg_read_latency_cycles = 0.0;
   std::uint64_t refreshes = 0;
+  std::uint64_t forwarded_reads = 0;  ///< reads serviced from a queued write
 
   /// Achieved bandwidth over an interval of `cycles` memory-clock cycles.
   [[nodiscard]] BytesPerSecond read_bandwidth(Cycle cycles, Hertz clock) const {
@@ -58,11 +59,25 @@ class DramSystem {
   /// nothing) when the channel queue is full.
   bool enqueue(std::uint64_t id, Addr line_addr, bool is_write);
 
-  /// Advance one memory-clock cycle on every channel.
-  void tick();
+  /// Advance one memory-clock cycle on every channel. Returns true when
+  /// any channel did anything (the cluster's skip gate).
+  bool tick();
 
   /// Collect read completions from all channels.
   [[nodiscard]] std::vector<MemResponse> drain_completions();
+
+  /// Allocation-free drain: append all channels' completions to `out`.
+  void drain_completions_into(std::vector<MemResponse>& out);
+
+  /// Earliest memory cycle >= now() at which any channel might act; a
+  /// conservative (never-late) bound for the event-skipping kernel.
+  [[nodiscard]] Cycle next_event_cycle() const;
+
+  /// Jump the memory clock forward over a window verified (via
+  /// next_event_cycle) to contain no channel activity. Channel state is
+  /// purely timestamp-based, so an event-free window needs no per-cycle
+  /// work at all.
+  void skip(Cycle cycles) { now_ += cycles; }
 
   /// True when every queue and in-flight list is empty.
   [[nodiscard]] bool idle() const;

@@ -1,8 +1,12 @@
 #include "dse/dse.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace ntserv::dse {
 
@@ -55,11 +59,66 @@ double SweepResult::baseline_uips() const {
 
 SweepResult ExplorationDriver::sweep(const workload::WorkloadProfile& profile,
                                      const std::vector<Hertz>& grid) const {
+  return sweep(profile, grid, sim::ThreadPool::default_threads());
+}
+
+SweepResult ExplorationDriver::sweep(const workload::WorkloadProfile& profile,
+                                     const std::vector<Hertz>& grid, int threads) const {
   sim::ServerSimulator simulator{profile, platform_, config_};
   SweepResult r;
   r.workload = profile.name;
-  r.points = simulator.sweep(grid);
+  r.points = simulator.sweep(grid, threads);
   return r;
+}
+
+std::vector<SweepResult> ExplorationDriver::sweep_all(
+    const std::vector<workload::WorkloadProfile>& profiles,
+    const std::vector<Hertz>& grid) const {
+  return sweep_all(profiles, grid, sim::ThreadPool::default_threads());
+}
+
+std::vector<SweepResult> ExplorationDriver::sweep_all(
+    const std::vector<workload::WorkloadProfile>& profiles, const std::vector<Hertz>& grid,
+    int threads) const {
+  std::vector<SweepResult> results(profiles.size());
+  std::vector<std::unique_ptr<sim::ServerSimulator>> simulators;
+  simulators.reserve(profiles.size());
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    simulators.push_back(
+        std::make_unique<sim::ServerSimulator>(profiles[p], platform_, config_));
+    results[p].workload = profiles[p].name;
+    results[p].points.resize(grid.size());
+  }
+
+  const std::size_t tasks = profiles.size() * grid.size();
+  threads = std::min<int>(threads, static_cast<int>(tasks));
+  if (threads <= 1) {
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        results[p].points[i] = simulators[p]->evaluate(grid[i]);
+      }
+    }
+    return results;
+  }
+
+  sim::ThreadPool pool{threads};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      pool.submit([&, p, i] {
+        try {
+          results[p].points[i] = simulators[p]->evaluate(grid[i]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!err) err = std::current_exception();
+        }
+      });
+    }
+  }
+  pool.wait_idle();
+  if (err) std::rethrow_exception(err);
+  return results;
 }
 
 ConstrainedChoice choose_operating_point(const SweepResult& sweep,

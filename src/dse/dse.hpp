@@ -49,8 +49,23 @@ class ExplorationDriver {
   ExplorationDriver(power::ServerPowerModel platform, sim::ServerSimConfig config)
       : platform_(std::move(platform)), config_(config) {}
 
+  /// Sweep one workload, fanning the grid points out over `threads`
+  /// workers (default NTSERV_THREADS). Results are thread-count
+  /// invariant (see ServerSimulator::sweep).
   [[nodiscard]] SweepResult sweep(const workload::WorkloadProfile& profile,
                                   const std::vector<Hertz>& grid) const;
+  [[nodiscard]] SweepResult sweep(const workload::WorkloadProfile& profile,
+                                  const std::vector<Hertz>& grid, int threads) const;
+
+  /// Sweep many workloads over a shared grid, flattening every
+  /// (workload, frequency) pair into one task pool so the figure drivers
+  /// saturate the machine even with short grids.
+  [[nodiscard]] std::vector<SweepResult> sweep_all(
+      const std::vector<workload::WorkloadProfile>& profiles,
+      const std::vector<Hertz>& grid, int threads) const;
+  [[nodiscard]] std::vector<SweepResult> sweep_all(
+      const std::vector<workload::WorkloadProfile>& profiles,
+      const std::vector<Hertz>& grid) const;
 
   [[nodiscard]] const power::ServerPowerModel& platform() const { return platform_; }
   [[nodiscard]] const sim::ServerSimConfig& config() const { return config_; }

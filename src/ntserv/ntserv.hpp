@@ -34,6 +34,7 @@
 #include "sim/cluster.hpp"
 #include "sim/sampling.hpp"
 #include "sim/server_sim.hpp"
+#include "sim/thread_pool.hpp"
 
 #include "qos/qos.hpp"
 

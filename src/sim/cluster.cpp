@@ -1,42 +1,96 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace ntserv::sim {
 
+namespace {
+dram::DramConfig with_event_skipping(dram::DramConfig d, bool on) {
+  d.event_skipping = on;
+  return d;
+}
+}  // namespace
+
 Cluster::Cluster(ClusterConfig config, std::vector<std::unique_ptr<cpu::UopSource>> sources)
     : config_(std::move(config)),
       sources_(std::move(sources)),
-      memory_(config_.hierarchy, config_.dram, config_.core_clock) {
+      memory_(config_.hierarchy,
+              with_event_skipping(config_.dram, config_.event_skipping),
+              config_.core_clock) {
   NTSERV_EXPECTS(static_cast<int>(sources_.size()) == config_.hierarchy.cores,
                  "need exactly one uop source per core");
   for (int c = 0; c < config_.hierarchy.cores; ++c) {
     cores_.push_back(std::make_unique<cpu::OooCore>(
         config_.core, static_cast<CoreId>(c), memory_, *sources_[static_cast<std::size_t>(c)]));
+    cores_.back()->set_commit_counter(&committed_running_);
+    cores_.back()->set_event_skipping(config_.event_skipping);
   }
+}
+
+void Cluster::step(Cycle now) {
+  memory_.tick(now);
+  completion_scratch_.clear();
+  memory_.drain_completions_into(completion_scratch_);
+  for (const auto& done : completion_scratch_) {
+    cores_[done.core]->on_miss_completion(done.user_tag, done.done);
+  }
+  for (auto& core : cores_) core->tick(now);
+}
+
+Cycle Cluster::next_cluster_event(Cycle from) const {
+  Cycle wake = kNeverCycle;
+  for (const auto& core : cores_) {
+    const Cycle h = core->next_event_cycle(from);
+    if (h <= from) return from;
+    wake = std::min(wake, h);
+  }
+  const Cycle mem = memory_.next_event_core_cycle(from);
+  if (mem <= from) return from;
+  return std::min(wake, mem);
 }
 
 void Cluster::run(Cycle cycles) {
   const Cycle end = now_ + cycles;
-  for (; now_ < end; ++now_) {
-    memory_.tick(now_);
-    for (const auto& done : memory_.drain_completions()) {
-      cores_[done.core]->on_miss_completion(done.user_tag, done.done);
+  while (now_ < end) {
+    step(now_);
+    ++now_;
+    if (!config_.event_skipping || now_ >= end) continue;
+
+    // Attempt a skip only out of a globally quiet tick: computing the
+    // wake hint costs about as much as a tick, so pay it only when the
+    // cluster just proved it has nothing in flight at cycle granularity.
+    if (memory_.acted_last_tick()) continue;
+    bool any_core_progress = false;
+    for (const auto& core : cores_) {
+      if (core->made_progress()) {
+        any_core_progress = true;
+        break;
+      }
     }
-    for (auto& core : cores_) core->tick(now_);
+    if (any_core_progress) continue;
+
+    // If every core is asleep and the memory system has no work before
+    // some future cycle, jump straight there: the skipped ticks are
+    // provably no-ops, so only the clocks and stall counters advance.
+    const Cycle wake = next_cluster_event(now_);
+    if (wake <= now_) continue;
+    const Cycle target = std::min(wake, end);
+    const Cycle delta = target - now_;
+    memory_.fast_forward(delta);
+    for (auto& core : cores_) core->note_idle_cycles(now_, delta);
+    skipped_cycles_ += delta;
+    now_ = target;
   }
 }
 
-std::uint64_t Cluster::total_committed() const {
-  std::uint64_t n = 0;
-  for (const auto& core : cores_) n += core->stats().committed_total;
-  return n;
-}
+std::uint64_t Cluster::total_committed() const { return committed_running_; }
 
 void Cluster::run_until_committed(std::uint64_t instructions, Cycle max_cycles) {
-  const std::uint64_t target = total_committed() + instructions;
+  const std::uint64_t target = committed_running_ + instructions;
   const Cycle deadline = now_ + max_cycles;
-  while (total_committed() < target && now_ < deadline) {
+  while (committed_running_ < target && now_ < deadline) {
     run(std::min<Cycle>(10'000, deadline - now_));
   }
 }

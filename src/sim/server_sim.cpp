@@ -1,8 +1,13 @@
 #include "sim/server_sim.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <exception>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace ntserv::sim {
 
@@ -50,10 +55,14 @@ OperatingPointResult ServerSimulator::evaluate(Hertz f) const {
 
   ClusterConfig cc = config_.cluster;
   cc.core_clock = f;
+  // Per-point stream: a pure function of (config seed, frequency), so a
+  // sweep's results do not depend on evaluation order or thread count.
+  const std::uint64_t point_seed =
+      derive_seed(config_.seed, std::bit_cast<std::uint64_t>(f.value()));
   std::vector<std::unique_ptr<cpu::UopSource>> sources;
   for (int c = 0; c < cc.hierarchy.cores; ++c) {
     sources.push_back(std::make_unique<workload::SyntheticWorkload>(
-        profile_, config_.seed + static_cast<std::uint64_t>(c) * 7919,
+        profile_, point_seed + static_cast<std::uint64_t>(c) * 7919,
         workload::AddressSpace::for_core(static_cast<CoreId>(c))));
   }
   Cluster cluster{cc, std::move(sources)};
@@ -78,9 +87,33 @@ OperatingPointResult ServerSimulator::evaluate(Hertz f) const {
 
 std::vector<OperatingPointResult> ServerSimulator::sweep(
     const std::vector<Hertz>& points) const {
-  std::vector<OperatingPointResult> out;
-  out.reserve(points.size());
-  for (Hertz f : points) out.push_back(evaluate(f));
+  return sweep(points, ThreadPool::default_threads());
+}
+
+std::vector<OperatingPointResult> ServerSimulator::sweep(const std::vector<Hertz>& points,
+                                                         int threads) const {
+  std::vector<OperatingPointResult> out(points.size());
+  threads = std::min<int>(threads, static_cast<int>(points.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) out[i] = evaluate(points[i]);
+    return out;
+  }
+
+  ThreadPool pool{threads};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pool.submit([this, &points, &out, &err_mu, &err, i] {
+      try {
+        out[i] = evaluate(points[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (err) std::rethrow_exception(err);
   return out;
 }
 

@@ -51,10 +51,17 @@ class ServerSimulator {
   [[nodiscard]] const ServerSimConfig& config() const { return config_; }
   [[nodiscard]] const power::ServerPowerModel& power_model() const { return power_; }
 
-  /// Simulate one DVFS point (fresh cluster, deterministic seed).
+  /// Simulate one DVFS point (fresh cluster, per-point SplitMix-derived
+  /// seed). Thread-safe: touches no mutable simulator state.
   [[nodiscard]] OperatingPointResult evaluate(Hertz f) const;
 
-  /// Simulate a frequency sweep.
+  /// Simulate a frequency sweep, fanning the points out over `threads`
+  /// workers (default: NTSERV_THREADS / hardware concurrency). Every
+  /// point is an independent simulation with a seed derived purely from
+  /// (config seed, frequency), so results are bit-identical for any
+  /// thread count, including the serial path.
+  [[nodiscard]] std::vector<OperatingPointResult> sweep(const std::vector<Hertz>& points,
+                                                        int threads) const;
   [[nodiscard]] std::vector<OperatingPointResult> sweep(const std::vector<Hertz>& points) const;
 
   /// Convert a measured cluster window into the chip activity vector.
