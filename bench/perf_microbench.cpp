@@ -13,13 +13,19 @@ void BM_DramRandomTraffic(benchmark::State& state) {
   dram::DramSystem mem;
   std::uint64_t id = 0;
   Xoshiro256StarStar rng{42};
+  // Scratch-vector completion drain, matching the simulator's hot path
+  // (Cluster::step reuses one vector; the allocating drain_completions()
+  // overload is for tests and tools).
+  std::vector<dram::MemResponse> completions;
   for (auto _ : state) {
     if ((id & 3) == 0) {
       const Addr a = rng.uniform_below(1ull << 30) & ~63ull;
       (void)mem.enqueue(id, a, rng.bernoulli(0.25));
     }
     mem.tick();
-    benchmark::DoNotOptimize(mem.drain_completions());
+    completions.clear();
+    mem.drain_completions_into(completions);
+    benchmark::DoNotOptimize(completions.data());
     ++id;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

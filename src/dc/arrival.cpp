@@ -1,0 +1,138 @@
+#include "dc/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ntserv::dc {
+
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kDeterministic: return "deterministic";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kMmpp: return "mmpp";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kVmPopulation: return "vm-population";
+  }
+  return "unknown";
+}
+
+void ArrivalConfig::validate() const {
+  if (kind != ArrivalKind::kVmPopulation) {
+    NTSERV_EXPECTS(rate > 0.0, "arrival rate must be positive");
+  }
+  if (kind == ArrivalKind::kMmpp) {
+    NTSERV_EXPECTS(burst_rate_multiplier > 1.0, "burst multiplier must exceed 1");
+    NTSERV_EXPECTS(burst_fraction > 0.0 && burst_fraction < 1.0,
+                   "burst fraction must be in (0,1)");
+    NTSERV_EXPECTS(burst_fraction * burst_rate_multiplier < 1.0,
+                   "burst state alone would exceed the long-run mean rate");
+    NTSERV_EXPECTS(burst_dwell.value() > 0.0, "burst dwell must be positive");
+  }
+  if (kind == ArrivalKind::kDiurnal) {
+    NTSERV_EXPECTS(diurnal_trough > 0.0 && diurnal_trough <= 1.0,
+                   "diurnal trough must be in (0,1]");
+    NTSERV_EXPECTS(diurnal_period.value() > 0.0, "diurnal period must be positive");
+  }
+  if (kind == ArrivalKind::kVmPopulation) {
+    NTSERV_EXPECTS(vm_population > 0, "VM population must be positive");
+    NTSERV_EXPECTS(vm_peak_rate > 0.0, "per-VM peak rate must be positive");
+  }
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, std::uint64_t seed)
+    : config_(config), rng_(derive_seed(seed, 0xA221'7A1ull)) {
+  config_.validate();
+  effective_rate_ = config_.rate;
+
+  switch (config_.kind) {
+    case ArrivalKind::kDiurnal:
+      // `rate` is the sinusoid's peak; the realized long-run mean is the
+      // time-average of trough + (1-trough) * (1-cos)/2.
+      effective_rate_ = config_.rate *
+                        (config_.diurnal_trough + (1.0 - config_.diurnal_trough) * 0.5);
+      break;
+    case ArrivalKind::kMmpp: {
+      // Solve the two-state rates so the long-run mean is `rate`:
+      // rate = pi_b * burst_rate + (1 - pi_b) * normal_rate.
+      const double pi_b = config_.burst_fraction;
+      burst_rate_ = config_.rate * config_.burst_rate_multiplier;
+      normal_rate_ = config_.rate * (1.0 - pi_b * config_.burst_rate_multiplier) /
+                     (1.0 - pi_b);
+      in_burst_ = false;
+      state_until_s_ = rng_.exponential(1.0 / normal_dwell_mean());
+      break;
+    }
+    case ArrivalKind::kVmPopulation: {
+      // The VM population is itself seed-derived, so the whole arrival
+      // sequence stays a pure function of (config, seed).
+      workload::BitbrainsParams params = config_.bitbrains;
+      params.population = config_.vm_population;
+      workload::BitbrainsTraceModel model{params, derive_seed(seed, 0xB17Bull)};
+      double aggregate = 0.0;
+      for (const auto& vm : model.sample_population()) {
+        aggregate += std::min(1.0, vm.cpu_util) * config_.vm_peak_rate;
+      }
+      effective_rate_ = std::max(aggregate, 1e-9);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+double ArrivalProcess::mmpp_state_rate() const {
+  return in_burst_ ? burst_rate_ : normal_rate_;
+}
+
+double ArrivalProcess::diurnal_rate_at(double t) const {
+  // Sinusoid between trough*rate and rate over one period.
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double phase = 0.5 * (1.0 - std::cos(kTwoPi * t / config_.diurnal_period.value()));
+  return config_.rate * (config_.diurnal_trough +
+                         (1.0 - config_.diurnal_trough) * phase);
+}
+
+Second ArrivalProcess::next() {
+  switch (config_.kind) {
+    case ArrivalKind::kDeterministic:
+      now_s_ += 1.0 / config_.rate;
+      break;
+
+    case ArrivalKind::kPoisson:
+    case ArrivalKind::kVmPopulation:
+      now_s_ += rng_.exponential(effective_rate_);
+      break;
+
+    case ArrivalKind::kMmpp:
+      for (;;) {
+        // Competing exponentials: next arrival in the current state versus
+        // the scheduled state switch.
+        const double dt = rng_.exponential(mmpp_state_rate());
+        if (now_s_ + dt <= state_until_s_) {
+          now_s_ += dt;
+          break;
+        }
+        now_s_ = state_until_s_;
+        in_burst_ = !in_burst_;
+        const double dwell_mean =
+            in_burst_ ? config_.burst_dwell.value() : normal_dwell_mean();
+        state_until_s_ = now_s_ + rng_.exponential(1.0 / dwell_mean);
+      }
+      break;
+
+    case ArrivalKind::kDiurnal:
+      // Thinning (Lewis & Shedler): candidates at the peak rate, accepted
+      // with probability rate(t)/peak.
+      for (;;) {
+        now_s_ += rng_.exponential(config_.rate);
+        if (rng_.uniform() * config_.rate <= diurnal_rate_at(now_s_)) break;
+      }
+      break;
+  }
+  ++count_;
+  return Second{now_s_};
+}
+
+}  // namespace ntserv::dc

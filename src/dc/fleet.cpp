@@ -1,0 +1,257 @@
+#include "dc/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ntserv::dc {
+
+const char* to_string(BalancePolicy p) {
+  switch (p) {
+    case BalancePolicy::kRoundRobin: return "round-robin";
+    case BalancePolicy::kLeastLoaded: return "least-loaded";
+    case BalancePolicy::kPowerAware: return "power-aware";
+  }
+  return "unknown";
+}
+
+void FleetConfig::validate() const {
+  profile.validate();
+  arrival.validate();
+  NTSERV_EXPECTS(servers > 0, "fleet needs at least one server");
+  NTSERV_EXPECTS(frequency.value() > 0.0, "core frequency must be positive");
+  NTSERV_EXPECTS(user_instructions_per_request > 0,
+                 "requests must cost at least one instruction");
+  NTSERV_EXPECTS(requests > 0, "need at least one measured request");
+  NTSERV_EXPECTS(quantum > 0, "quantum must be positive");
+  NTSERV_EXPECTS(pack_depth_per_core > 0.0, "pack depth must be positive");
+}
+
+ClusterFleet::ClusterFleet(FleetConfig config)
+    : config_(std::move(config)),
+      arrivals_(config_.arrival, derive_seed(config_.seed, 0xA441ull)) {
+  config_.validate();
+  servers_.reserve(static_cast<std::size_t>(config_.servers));
+  for (int s = 0; s < config_.servers; ++s) {
+    sim::ClusterConfig cc = config_.cluster;
+    cc.core_clock = config_.frequency;
+    // Per-server workload stream: a pure function of (seed, server index),
+    // so fleet results never depend on construction or thread order.
+    const std::uint64_t server_seed =
+        derive_seed(config_.seed, 0x5E28ull + static_cast<std::uint64_t>(s));
+    std::vector<std::unique_ptr<cpu::UopSource>> sources;
+    for (int c = 0; c < cc.hierarchy.cores; ++c) {
+      sources.push_back(std::make_unique<workload::SyntheticWorkload>(
+          config_.profile, server_seed + static_cast<std::uint64_t>(c) * 7919,
+          workload::AddressSpace::for_core(static_cast<CoreId>(c))));
+    }
+    Server server;
+    server.cluster = std::make_unique<sim::Cluster>(cc, std::move(sources));
+    server.cluster->run_until_committed(config_.warm_instructions, config_.warm_max_cycles);
+    server.slots.resize(static_cast<std::size_t>(cc.hierarchy.cores));
+    servers_.push_back(std::move(server));
+  }
+}
+
+int ClusterFleet::outstanding(int s) const {
+  const Server& server = servers_.at(static_cast<std::size_t>(s));
+  return static_cast<int>(server.queue.size()) + server.busy_cores;
+}
+
+int ClusterFleet::pick_server() {
+  switch (config_.policy) {
+    case BalancePolicy::kRoundRobin: {
+      const int s = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % servers();
+      return s;
+    }
+    case BalancePolicy::kLeastLoaded: {
+      int best = 0;
+      for (int s = 1; s < servers(); ++s) {
+        if (outstanding(s) < outstanding(best)) best = s;
+      }
+      return best;
+    }
+    case BalancePolicy::kPowerAware: {
+      // Pack in index order while a server has headroom; beyond that fall
+      // back to least-loaded so saturation degrades gracefully.
+      const double cap = config_.pack_depth_per_core *
+                         static_cast<double>(cores_per_server());
+      for (int s = 0; s < servers(); ++s) {
+        if (static_cast<double>(outstanding(s)) < cap) return s;
+      }
+      int best = 0;
+      for (int s = 1; s < servers(); ++s) {
+        if (outstanding(s) < outstanding(best)) best = s;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void ClusterFleet::start_services(Server& server, double now) {
+  for (std::size_t c = 0; c < server.slots.size(); ++c) {
+    if (server.queue.empty()) return;
+    CoreSlot& slot = server.slots[c];
+    if (slot.busy) continue;
+    slot.request = server.queue.front();
+    server.queue.pop_front();
+    slot.request.core = static_cast<int>(c);
+    slot.request.start_cycle = now;
+    slot.target_user_committed =
+        server.cluster->user_committed_on(static_cast<int>(c)) +
+        config_.user_instructions_per_request;
+    slot.busy = true;
+    ++server.busy_cores;
+  }
+}
+
+bool ClusterFleet::any_core_busy() const {
+  for (const auto& server : servers_) {
+    if (server.busy_cores > 0) return true;
+  }
+  return false;
+}
+
+FleetResult ClusterFleet::run() {
+  const double f = config_.frequency.value();
+  const std::uint64_t total = config_.requests + config_.warmup_requests;
+
+  StreamingPercentiles latency;
+  RunningStats latency_mean, wait_mean;
+  Cycle now = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed_total = 0;
+  std::uint64_t completed_measured = 0;
+  bool truncated = false;
+  double next_arrival_cycle = arrivals_.next().value() * f;
+  double last_arrival_cycle = 0.0;
+
+  while (completed_total < total) {
+    if (now >= config_.max_cycles) {
+      truncated = true;
+      break;
+    }
+
+    // Admit everything that has arrived by `now` and dispatch it.
+    while (admitted < total && next_arrival_cycle <= static_cast<double>(now)) {
+      Request r;
+      r.id = admitted;
+      r.arrival_cycle = next_arrival_cycle;
+      r.server = pick_server();
+      servers_[static_cast<std::size_t>(r.server)].queue.push_back(r);
+      last_arrival_cycle = next_arrival_cycle;
+      ++admitted;
+      if (admitted < total) next_arrival_cycle = arrivals_.next().value() * f;
+    }
+
+    for (auto& server : servers_) start_services(server, static_cast<double>(now));
+
+    if (!any_core_busy()) {
+      // Whole fleet idle: every server would sleep, so jump straight to
+      // the next arrival (the fleet-level analogue of event skipping; the
+      // skipped span is credited to sleep in the energy accounting).
+      NTSERV_EXPECTS(admitted < total, "idle fleet with requests unaccounted for");
+      const auto target = static_cast<Cycle>(std::ceil(next_arrival_cycle));
+      now = std::min(std::max(now + 1, target), config_.max_cycles);
+      continue;
+    }
+
+    const Cycle q = config_.quantum;
+    for (auto& server : servers_) {
+      if (server.busy_cores == 0) continue;  // idle server stays asleep
+      for (auto& slot : server.slots) {
+        if (slot.busy) {
+          slot.committed_at_quantum_start =
+              server.cluster->user_committed_on(slot.request.core);
+        }
+      }
+      server.cluster->run(q);
+      server.active_cycles += q;
+      server.busy_core_cycles += static_cast<std::uint64_t>(server.busy_cores) * q;
+
+      for (auto& slot : server.slots) {
+        if (!slot.busy) continue;
+        const std::uint64_t committed =
+            server.cluster->user_committed_on(slot.request.core);
+        if (committed < slot.target_user_committed) continue;
+        // Interpolate the completion inside the quantum from the commit
+        // overshoot, so latency error is O(1) instructions, not O(quantum).
+        const std::uint64_t progressed = committed - slot.committed_at_quantum_start;
+        const std::uint64_t needed =
+            slot.target_user_committed - slot.committed_at_quantum_start;
+        const double frac =
+            progressed > 0
+                ? static_cast<double>(needed) / static_cast<double>(progressed)
+                : 1.0;
+        slot.request.completion_cycle =
+            static_cast<double>(now) + frac * static_cast<double>(q);
+        ++completed_total;
+        if (slot.request.id >= config_.warmup_requests) {
+          ++completed_measured;
+          const double latency_s = slot.request.latency_cycles() / f;
+          latency.add(latency_s);
+          latency_mean.add(latency_s);
+          wait_mean.add(slot.request.wait_cycles() / f);
+        }
+        slot.busy = false;
+        --server.busy_cores;
+      }
+    }
+    now += q;
+  }
+
+  FleetResult r;
+  r.workload = config_.profile.name;
+  r.frequency = config_.frequency;
+  r.completed = completed_measured;
+  r.admitted = admitted;
+  r.truncated = truncated;
+  r.span_cycles = now;
+  if (latency.count() > 0) {
+    r.mean_latency = Second{latency_mean.mean()};
+    r.p50 = Second{latency.p50()};
+    r.p95 = Second{latency.p95()};
+    r.p99 = Second{latency.p99()};
+    r.mean_wait = Second{wait_mean.mean()};
+  }
+  if (last_arrival_cycle > 0.0) {
+    r.offered_rate = static_cast<double>(admitted) * f / last_arrival_cycle;
+  }
+  const double span_s = static_cast<double>(now) / f;
+  if (span_s > 0.0) {
+    r.throughput = static_cast<double>(completed_total) / span_s;
+  }
+  std::uint64_t busy_core_cycles = 0;
+  r.server_active_fraction.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    busy_core_cycles += server.busy_core_cycles;
+    r.server_active_fraction.push_back(
+        now > 0 ? static_cast<double>(server.active_cycles) / static_cast<double>(now)
+                : 0.0);
+  }
+  if (now > 0) {
+    r.utilization = static_cast<double>(busy_core_cycles) /
+                    (static_cast<double>(now) *
+                     static_cast<double>(servers_.size()) *
+                     static_cast<double>(cores_per_server()));
+  }
+  return r;
+}
+
+Joule fleet_energy(const FleetResult& result, const pm::PowerManager& manager,
+                   Hertz frequency) {
+  NTSERV_EXPECTS(frequency.value() > 0.0, "frequency must be positive");
+  const Second span{static_cast<double>(result.span_cycles) / frequency.value()};
+  Joule total{0.0};
+  for (double duty : result.server_active_fraction) {
+    total += manager.energy_for_duty(frequency, duty, span);
+  }
+  return total;
+}
+
+}  // namespace ntserv::dc

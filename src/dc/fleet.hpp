@@ -1,0 +1,167 @@
+// Request-level serving on a fleet of simulated clusters.
+//
+// The analytic QoS path (src/qos) scales a measured baseline p99 by the
+// UIPS ratio; nothing ever queues. This module instead *runs* requests:
+// open-loop arrivals (dc/arrival.hpp) are dispatched by a load-balancing
+// policy onto the cores of N independent sim::Cluster instances, and each
+// request's service is the time its core takes to commit a fixed number of
+// user instructions — the paper's own invariant (Sec. V-A: user
+// instructions per request are constant across contention points). Tail
+// latency is then a *measurement* over completed requests, so queueing,
+// burstiness and load-balancing effects show up in the p99 exactly as they
+// would on hardware, and the result can be cross-checked against the
+// analytic path on a contention-free scenario.
+//
+// The fleet simulation is deliberately single-threaded per scenario —
+// dispatch decisions depend on completion order, so intra-fleet parallelism
+// would be order-dependent. Parallel fan-out happens one level up
+// (dc/scenario.hpp, dse::sweep_measured_qos) across independent scenarios
+// and frequency points, which keeps every result bit-identical for any
+// NTSERV_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dc/arrival.hpp"
+#include "dc/latency_stats.hpp"
+#include "pm/power_manager.hpp"
+#include "sim/cluster.hpp"
+#include "workload/profile.hpp"
+
+namespace ntserv::dc {
+
+/// Per-request lifecycle record, in fleet-global core cycles (fractional:
+/// completions are interpolated inside the advance quantum).
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_cycle = 0.0;
+  double start_cycle = 0.0;       ///< service began on a core
+  double completion_cycle = 0.0;
+  int server = -1;
+  int core = -1;
+
+  [[nodiscard]] double latency_cycles() const { return completion_cycle - arrival_cycle; }
+  [[nodiscard]] double wait_cycles() const { return start_cycle - arrival_cycle; }
+};
+
+enum class BalancePolicy {
+  kRoundRobin,   ///< servers in cyclic order
+  kLeastLoaded,  ///< fewest outstanding requests (queued + in service)
+  kPowerAware,   ///< pack onto low-index servers so the tail can sleep
+};
+
+[[nodiscard]] const char* to_string(BalancePolicy p);
+
+struct FleetConfig {
+  sim::ClusterConfig cluster;
+  workload::WorkloadProfile profile;
+  Hertz frequency{2e9};
+  int servers = 2;
+  /// The constant user-instruction cost of one request (paper Sec. V-A).
+  std::uint64_t user_instructions_per_request = 8'000;
+  BalancePolicy policy = BalancePolicy::kLeastLoaded;
+  ArrivalConfig arrival;
+  /// Measured completions (after warmup_requests unmeasured ones).
+  std::uint64_t requests = 400;
+  std::uint64_t warmup_requests = 40;
+  std::uint64_t seed = 1;
+  /// Simulation step between dispatch/completion checks, in core cycles.
+  /// Completions are interpolated within the quantum, so the measured
+  /// latency error is O(quantum / service_cycles).
+  Cycle quantum = 64;
+  /// Per-server architectural cache warming before any request is timed
+  /// (cluster-aggregate committed instructions, same convention as the
+  /// SMARTS warm phase — keeping the two paths' warmth comparable is what
+  /// makes the measured-vs-analytic cross-check meaningful).
+  std::uint64_t warm_instructions = 600'000;
+  Cycle warm_max_cycles = 6'000'000;
+  /// Safety stop for saturated scenarios (arrival rate > service rate).
+  Cycle max_cycles = 400'000'000;
+  /// Power-aware packing bound: a server accepts new work while its
+  /// outstanding count is below depth_per_core * cores.
+  double pack_depth_per_core = 2.0;
+
+  void validate() const;
+};
+
+/// Aggregate outcome of one fleet run.
+struct FleetResult {
+  std::string workload;
+  Hertz frequency;
+  std::uint64_t completed = 0;        ///< measured completions
+  std::uint64_t admitted = 0;         ///< total requests admitted
+  bool truncated = false;             ///< hit max_cycles before completing
+  Second mean_latency{0.0};
+  Second p50{0.0};
+  Second p95{0.0};
+  Second p99{0.0};
+  Second mean_wait{0.0};
+  double offered_rate = 0.0;          ///< arrivals/s over the run
+  double throughput = 0.0;            ///< completions/s over the span (warmup included)
+  double utilization = 0.0;           ///< busy-core fraction over the span
+  /// Per-server fraction of the span with at least one busy core (the
+  /// power-model duty cycle: idle servers sit in RBB sleep).
+  std::vector<double> server_active_fraction;
+  Cycle span_cycles = 0;
+};
+
+/// N independent sim::Cluster instances behind one dispatcher.
+class ClusterFleet {
+ public:
+  explicit ClusterFleet(FleetConfig config);
+
+  ClusterFleet(const ClusterFleet&) = delete;
+  ClusterFleet& operator=(const ClusterFleet&) = delete;
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] int servers() const { return static_cast<int>(servers_.size()); }
+  [[nodiscard]] int cores_per_server() const { return config_.cluster.hierarchy.cores; }
+
+  /// Queued + in-service requests on server `s`.
+  [[nodiscard]] int outstanding(int s) const;
+
+  /// Drive arrivals until `requests` measured completions (or max_cycles).
+  /// Single-threaded and deterministic: identical results for any caller
+  /// threading, because all randomness is seed-derived at construction.
+  [[nodiscard]] FleetResult run();
+
+ private:
+  struct CoreSlot {
+    bool busy = false;
+    std::uint64_t target_user_committed = 0;
+    std::uint64_t committed_at_quantum_start = 0;
+    Request request;
+  };
+
+  struct Server {
+    std::unique_ptr<sim::Cluster> cluster;
+    std::deque<Request> queue;
+    std::vector<CoreSlot> slots;
+    std::uint64_t busy_core_cycles = 0;
+    std::uint64_t active_cycles = 0;  ///< cycles with >= 1 busy core
+    int busy_cores = 0;
+  };
+
+  [[nodiscard]] int pick_server();
+  void start_services(Server& server, double now);
+  [[nodiscard]] bool any_core_busy() const;
+
+  FleetConfig config_;
+  ArrivalProcess arrivals_;
+  std::vector<Server> servers_;
+  int round_robin_next_ = 0;
+};
+
+/// Server energy over a fleet run's span: each server runs at the
+/// pm::PowerManager's active power for its active fraction and sits in
+/// RBB sleep for the remainder (the paper's energy-proportionality story
+/// applied to measured duty cycles).
+[[nodiscard]] Joule fleet_energy(const FleetResult& result, const pm::PowerManager& manager,
+                                 Hertz frequency);
+
+}  // namespace ntserv::dc

@@ -1,0 +1,63 @@
+// Named serving scenarios: the catalog the figure drivers and DSE sweeps
+// fan out over.
+//
+// A Scenario is plain data — workload name, arrival process, balancing
+// policy, fleet shape, request budget — that expands into a FleetConfig at
+// a chosen frequency. Keeping scenarios declarative means every new
+// arrival×policy×fleet combination is one registry entry, and the sweep
+// drivers (dse::sweep_measured_qos, bench/fig2_measured_qos) pick them up
+// by name with no new plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dc/fleet.hpp"
+
+namespace ntserv::dc {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// WorkloadProfile name (resolved via WorkloadProfile::for_name).
+  std::string workload;
+  ArrivalConfig arrival;
+  BalancePolicy policy = BalancePolicy::kLeastLoaded;
+  int servers = 2;
+  std::uint64_t user_instructions_per_request = 8'000;
+  std::uint64_t requests = 400;
+  std::uint64_t warmup_requests = 40;
+  std::uint64_t seed = 1;
+
+  /// Expand into a runnable FleetConfig at frequency `f` (default cluster
+  /// and platform parameters; override fields on the result if needed).
+  [[nodiscard]] FleetConfig fleet_config(Hertz f) const;
+
+  /// The full scenario catalog (see docs/datacenter.md for the tour).
+  static std::vector<Scenario> registry();
+
+  /// Look up a catalog scenario by name; throws ModelError if unknown.
+  static Scenario by_name(const std::string& name);
+};
+
+/// Arrival rate that loads a fleet to `load` (fraction of nominal service
+/// capacity) at the 2 GHz baseline, given the per-request instruction
+/// budget. Uses a nominal per-core user-IPC; the *measured* utilization of
+/// a run is reported in FleetResult, this is only for sizing scenarios.
+[[nodiscard]] double rate_for_load(double load, int servers, int cores_per_server,
+                                   std::uint64_t user_instructions_per_request);
+
+/// Run one scenario at frequency `f` (single-threaded, deterministic).
+[[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f);
+
+/// Run many scenarios at one frequency, fanning them out over `threads`
+/// workers (default NTSERV_THREADS). Each scenario is an independent
+/// seed-derived simulation, so results are bit-identical for any thread
+/// count.
+[[nodiscard]] std::vector<FleetResult> run_scenarios(const std::vector<Scenario>& scenarios,
+                                                     Hertz f, int threads);
+[[nodiscard]] std::vector<FleetResult> run_scenarios(const std::vector<Scenario>& scenarios,
+                                                     Hertz f);
+
+}  // namespace ntserv::dc

@@ -1,9 +1,8 @@
 #include "dse/dse.hpp"
 
 #include <algorithm>
-#include <exception>
+#include <limits>
 #include <memory>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "sim/thread_pool.hpp"
@@ -90,35 +89,65 @@ std::vector<SweepResult> ExplorationDriver::sweep_all(
     results[p].points.resize(grid.size());
   }
 
-  const std::size_t tasks = profiles.size() * grid.size();
-  threads = std::min<int>(threads, static_cast<int>(tasks));
-  if (threads <= 1) {
-    for (std::size_t p = 0; p < profiles.size(); ++p) {
-      for (std::size_t i = 0; i < grid.size(); ++i) {
-        results[p].points[i] = simulators[p]->evaluate(grid[i]);
-      }
-    }
-    return results;
-  }
-
-  sim::ThreadPool pool{threads};
-  std::mutex err_mu;
-  std::exception_ptr err;
-  for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      pool.submit([&, p, i] {
-        try {
-          results[p].points[i] = simulators[p]->evaluate(grid[i]);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!err) err = std::current_exception();
-        }
-      });
-    }
-  }
-  pool.wait_idle();
-  if (err) std::rethrow_exception(err);
+  // Flatten every (workload, frequency) pair into one task index space.
+  sim::parallel_for_index(threads, profiles.size() * grid.size(), [&](std::size_t t) {
+    const std::size_t p = t / grid.size();
+    const std::size_t i = t % grid.size();
+    results[p].points[i] = simulators[p]->evaluate(grid[i]);
+  });
   return results;
+}
+
+Second MeasuredQosSweep::baseline_p99() const {
+  NTSERV_EXPECTS(!points.empty(), "empty measured sweep");
+  const auto it = std::max_element(
+      points.begin(), points.end(),
+      [](const auto& a, const auto& b) { return a.frequency < b.frequency; });
+  return it->p99;
+}
+
+MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
+                                    const qos::QosTarget& target,
+                                    const std::vector<Hertz>& grid) {
+  return sweep_measured_qos(scenario, target, grid, sim::ThreadPool::default_threads());
+}
+
+MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
+                                    const qos::QosTarget& target,
+                                    const std::vector<Hertz>& grid, int threads) {
+  NTSERV_EXPECTS(!grid.empty(), "measured sweep needs at least one grid point");
+  MeasuredQosSweep sweep;
+  sweep.scenario = scenario.name;
+  sweep.workload = scenario.workload;
+
+  std::vector<dc::FleetResult> fleet(grid.size());
+  sim::parallel_for_index(threads, grid.size(), [&](std::size_t i) {
+    fleet[i] = dc::run_scenario(scenario, grid[i]);
+  });
+
+  sweep.points.resize(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    MeasuredQosPoint& p = sweep.points[i];
+    p.frequency = grid[i];
+    p.p50 = fleet[i].p50;
+    p.p95 = fleet[i].p95;
+    p.p99 = fleet[i].p99;
+    p.utilization = fleet[i].utilization;
+    p.throughput = fleet[i].throughput;
+    p.truncated = fleet[i].truncated;
+  }
+  const Second base = sweep.baseline_p99();
+  NTSERV_EXPECTS(base.value() > 0.0,
+                 "baseline (highest-frequency) point measured no completions — "
+                 "the scenario saturates even at the top of the grid");
+  for (auto& p : sweep.points) {
+    // A point with no measured completions is a fully saturated fleet:
+    // its tail is unbounded, not zero.
+    p.normalized_p99 = p.p99.value() > 0.0
+                           ? qos::measured_normalized_latency(target, p.p99, base)
+                           : std::numeric_limits<double>::infinity();
+  }
+  return sweep;
 }
 
 ConstrainedChoice choose_operating_point(const SweepResult& sweep,

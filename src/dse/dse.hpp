@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dc/scenario.hpp"
 #include "qos/qos.hpp"
 #include "sim/server_sim.hpp"
 
@@ -92,6 +93,46 @@ struct ConstrainedChoice {
 /// to the power at the highest-f point, weighted by their throughputs
 /// (Barroso & Hölzle's EP notion reduced to the DVFS axis).
 [[nodiscard]] double energy_proportionality(const SweepResult& sweep, Scope scope);
+
+// ---- Measured (request-level) QoS sweeps ----
+
+/// One frequency point of a measured tail-latency sweep.
+struct MeasuredQosPoint {
+  Hertz frequency;
+  Second p50{0.0};
+  Second p95{0.0};
+  Second p99{0.0};
+  /// Fig. 2 metric from *measured* request latencies: the QoS anchor's
+  /// baseline p99 scaled by the measured tail ratio against the sweep's
+  /// highest-frequency point, over the QoS limit.
+  double normalized_p99 = 0.0;
+  double utilization = 0.0;
+  double throughput = 0.0;
+  bool truncated = false;  ///< the fleet saturated and hit its cycle cap
+};
+
+/// A frequency sweep of one dc::Scenario with measured tail latencies.
+struct MeasuredQosSweep {
+  std::string scenario;
+  std::string workload;
+  std::vector<MeasuredQosPoint> points;
+
+  /// Simulated p99 at the highest-frequency point (the 2 GHz baseline's
+  /// role in the paper's methodology).
+  [[nodiscard]] Second baseline_p99() const;
+};
+
+/// Sweep a scenario over a frequency grid, fanning the points out over
+/// `threads` workers (default NTSERV_THREADS). Each point runs its fleet
+/// with the scenario's own seed, so results are bit-identical for any
+/// thread count.
+[[nodiscard]] MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
+                                                  const qos::QosTarget& target,
+                                                  const std::vector<Hertz>& grid,
+                                                  int threads);
+[[nodiscard]] MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
+                                                  const qos::QosTarget& target,
+                                                  const std::vector<Hertz>& grid);
 
 /// Consolidation headroom (Sec. V-C): with QoS met at `qos_floor` but the
 /// efficiency optimum at `f_opt` > floor, the spare throughput factor

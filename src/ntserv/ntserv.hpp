@@ -38,6 +38,11 @@
 
 #include "qos/qos.hpp"
 
+#include "dc/arrival.hpp"
+#include "dc/fleet.hpp"
+#include "dc/latency_stats.hpp"
+#include "dc/scenario.hpp"
+
 #include "dse/dse.hpp"
 
 #include "thermal/thermal.hpp"

@@ -209,4 +209,10 @@ PolicyResult PowerManager::run(const LoadTrace& trace, Policy policy) const {
   return result;
 }
 
+Joule PowerManager::energy_for_duty(Hertz f, double duty, Second duration) const {
+  NTSERV_EXPECTS(duty >= 0.0 && duty <= 1.0, "duty must be in [0,1]");
+  NTSERV_EXPECTS(duration.value() >= 0.0, "duration must be non-negative");
+  return active_power(f) * (duration * duty) + sleep_power() * (duration * (1.0 - duty));
+}
+
 }  // namespace ntserv::pm

@@ -104,6 +104,13 @@ class PowerManager {
   /// Simulate one policy over a trace.
   [[nodiscard]] PolicyResult run(const LoadTrace& trace, Policy policy) const;
 
+  /// Energy of one server over `duration` with a measured duty cycle:
+  /// active at `f` for `duty` of the time, RBB sleep for the rest. The
+  /// request-level fleet (src/dc) feeds its per-server active fractions
+  /// through this hook, connecting measured serving load to the paper's
+  /// energy-proportionality analysis.
+  [[nodiscard]] Joule energy_for_duty(Hertz f, double duty, Second duration) const;
+
  private:
   power::ServerPowerModel platform_;
   UipsCurve curve_;

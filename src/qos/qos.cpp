@@ -45,6 +45,18 @@ double normalized_latency(const QosTarget& target, double uips_at_f,
   return scaled_latency(target, uips_at_f, uips_at_baseline) / target.qos_limit;
 }
 
+Second measured_scaled_latency(const QosTarget& target, Second p99_at_f,
+                               Second p99_at_baseline) {
+  NTSERV_EXPECTS(p99_at_f.value() > 0.0 && p99_at_baseline.value() > 0.0,
+                 "measured p99 latencies must be positive");
+  return target.baseline_p99 * (p99_at_f / p99_at_baseline);
+}
+
+double measured_normalized_latency(const QosTarget& target, Second p99_at_f,
+                                   Second p99_at_baseline) {
+  return measured_scaled_latency(target, p99_at_f, p99_at_baseline) / target.qos_limit;
+}
+
 namespace {
 
 /// Lowest frequency where metric(f) <= bound, given metric is decreasing

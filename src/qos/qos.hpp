@@ -54,6 +54,25 @@ struct QosTarget {
 [[nodiscard]] double normalized_latency(const QosTarget& target, double uips_at_f,
                                         double uips_at_baseline);
 
+// ---- Measured (request-level) tail latency ----
+//
+// The request-level serving layer (src/dc) measures p99 directly from
+// simulated request completions. Anchoring works exactly like the paper's
+// hardware measurement: the simulated p99 at the 2 GHz baseline plays the
+// i7-4785T's role, and the QoS anchor's baseline_p99 is scaled by the
+// *measured* latency ratio instead of the UIPS ratio. On a contention-free
+// scenario the two paths agree (instructions per request are constant); in
+// contended scenarios the measured path additionally captures queueing,
+// which the analytic scaling rule cannot.
+
+/// baseline_p99 scaled by the measured tail ratio p99(f) / p99(f_base).
+[[nodiscard]] Second measured_scaled_latency(const QosTarget& target, Second p99_at_f,
+                                             Second p99_at_baseline);
+
+/// measured_scaled_latency normalized by the QoS limit (<= 1 meets QoS).
+[[nodiscard]] double measured_normalized_latency(const QosTarget& target, Second p99_at_f,
+                                                 Second p99_at_baseline);
+
 /// One point of a Fig. 2 series.
 struct QosPoint {
   Hertz frequency;

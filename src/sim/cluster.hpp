@@ -69,6 +69,14 @@ class Cluster {
   /// Total committed instructions since construction.
   [[nodiscard]] std::uint64_t total_committed() const;
 
+  /// User-mode instructions committed by core `i` since the last
+  /// reset_stats() (monotone between resets). The request-level serving
+  /// layer (src/dc) uses this to meter per-request service: a request is
+  /// complete when its core has committed a fixed user-instruction budget.
+  [[nodiscard]] std::uint64_t user_committed_on(int i) const {
+    return cores_.at(static_cast<std::size_t>(i))->stats().committed_user;
+  }
+
   /// Measurement-window control.
   void reset_stats();
 

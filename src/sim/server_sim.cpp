@@ -93,27 +93,8 @@ std::vector<OperatingPointResult> ServerSimulator::sweep(
 std::vector<OperatingPointResult> ServerSimulator::sweep(const std::vector<Hertz>& points,
                                                          int threads) const {
   std::vector<OperatingPointResult> out(points.size());
-  threads = std::min<int>(threads, static_cast<int>(points.size()));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) out[i] = evaluate(points[i]);
-    return out;
-  }
-
-  ThreadPool pool{threads};
-  std::mutex err_mu;
-  std::exception_ptr err;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    pool.submit([this, &points, &out, &err_mu, &err, i] {
-      try {
-        out[i] = evaluate(points[i]);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!err) err = std::current_exception();
-      }
-    });
-  }
-  pool.wait_idle();
-  if (err) std::rethrow_exception(err);
+  parallel_for_index(threads, points.size(),
+                     [this, &points, &out](std::size_t i) { out[i] = evaluate(points[i]); });
   return out;
 }
 

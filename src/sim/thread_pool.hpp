@@ -12,8 +12,10 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdlib>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -100,5 +102,35 @@ class ThreadPool {
   int active_ = 0;
   bool stop_ = false;
 };
+
+/// Run body(i) for i in [0, n): serially when one worker suffices,
+/// otherwise fanned out over a pool of min(threads, n) workers. The first
+/// exception any task throws is rethrown after the barrier. This is the
+/// shared-nothing fan-out every sweep driver uses — each index must write
+/// only its own result slot.
+template <typename Body>
+void parallel_for_index(int threads, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  if (threads > static_cast<int>(n)) threads = static_cast<int>(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool{threads};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&body, &err_mu, &err, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (err) std::rethrow_exception(err);
+}
 
 }  // namespace ntserv::sim

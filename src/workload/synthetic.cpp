@@ -1,6 +1,7 @@
 #include "workload/synthetic.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -27,6 +28,10 @@ SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile, std::uint64_t seed
                 profile_.zipf_skew),
       pc_(space.code_base) {
   profile_.validate();
+  dep_p_ = 1.0 / profile_.dep_distance_mean;
+  if (dep_p_ < 1.0) dep_log_denom_ = std::log1p(-dep_p_);
+  os_enter_prob_ = profile_.os_fraction /
+                   ((1.0 - profile_.os_fraction) * static_cast<double>(kOsDwellMean));
   stream_cursor_.resize(static_cast<std::size_t>(profile_.stream_count));
   for (std::size_t s = 0; s < stream_cursor_.size(); ++s) {
     // Streams start spread across the footprint.
@@ -169,10 +174,7 @@ void SyntheticWorkload::maybe_toggle_os_mode() {
     return;
   }
   // Enter an OS burst with the rate that yields `os_fraction` overall.
-  const double enter_prob =
-      profile_.os_fraction / ((1.0 - profile_.os_fraction) *
-                              static_cast<double>(kOsDwellMean));
-  if (rng_.bernoulli(enter_prob)) {
+  if (rng_.bernoulli(os_enter_prob_)) {
     in_os_mode_ = true;
     os_dwell_left_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(rng_.exponential(1.0 / static_cast<double>(
@@ -181,9 +183,22 @@ void SyntheticWorkload::maybe_toggle_os_mode() {
   }
 }
 
-cpu::MicroOp SyntheticWorkload::next() {
+void SyntheticWorkload::refill() {
+  for (int i = 0; i < kBatch; ++i) ring_[i] = generate_one();
+  ring_pos_ = 0;
+}
+
+std::uint64_t SyntheticWorkload::dep_distance() {
+  // Mirrors Xoshiro256StarStar::geometric(dep_p_) draw for draw, with the
+  // constant log1p(-p) denominator computed once at construction.
+  if (dep_p_ >= 1.0) return 0;
+  double u = 0.0;
+  do { u = rng_.uniform(); } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / dep_log_denom_));
+}
+
+cpu::MicroOp SyntheticWorkload::generate_one() {
   maybe_toggle_os_mode();
-  ++count_;
   ++uops_since_last_load_;
 
   cpu::MicroOp op;
@@ -192,12 +207,11 @@ cpu::MicroOp SyntheticWorkload::next() {
   op.is_user = !in_os_mode_;
 
   // Register dependencies: geometric distances biased to recent producers.
-  const double p = 1.0 / profile_.dep_distance_mean;
   op.src_dist[0] = static_cast<std::uint16_t>(
-      std::min<std::uint64_t>(1 + rng_.geometric(p), 0xFFFF));
+      std::min<std::uint64_t>(1 + dep_distance(), 0xFFFF));
   if (rng_.bernoulli(profile_.second_source_prob)) {
     op.src_dist[1] = static_cast<std::uint16_t>(
-        std::min<std::uint64_t>(1 + rng_.geometric(p), 0xFFFF));
+        std::min<std::uint64_t>(1 + dep_distance(), 0xFFFF));
   }
 
   switch (op.type) {

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "dc/fleet.hpp"
+#include "workload/profile.hpp"
+
+namespace ntserv::dc {
+namespace {
+
+/// Small, fast fleet configuration shared by the behavioural tests.
+FleetConfig small_config() {
+  FleetConfig cfg;
+  cfg.profile = workload::WorkloadProfile::web_search();
+  cfg.frequency = ghz(2.0);
+  cfg.servers = 2;
+  cfg.user_instructions_per_request = 3'000;
+  cfg.arrival.kind = ArrivalKind::kPoisson;
+  cfg.arrival.rate = 20'000.0;
+  cfg.requests = 80;
+  cfg.warmup_requests = 10;
+  cfg.warm_instructions = 60'000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Fleet, CompletesEveryMeasuredRequest) {
+  ClusterFleet fleet{small_config()};
+  const FleetResult r = fleet.run();
+  EXPECT_EQ(r.completed, 80u);
+  EXPECT_EQ(r.admitted, 90u);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.p99.value(), 0.0);
+  EXPECT_LE(r.p50.value(), r.p95.value());
+  EXPECT_LE(r.p95.value(), r.p99.value());
+  EXPECT_GT(r.mean_latency.value(), 0.0);
+  EXPECT_GE(r.mean_wait.value(), 0.0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0);
+  ASSERT_EQ(r.server_active_fraction.size(), 2u);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_GT(r.offered_rate, 0.0);
+}
+
+TEST(Fleet, RunsAreDeterministic) {
+  ClusterFleet a{small_config()};
+  ClusterFleet b{small_config()};
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.p50.value(), rb.p50.value());
+  EXPECT_DOUBLE_EQ(ra.p95.value(), rb.p95.value());
+  EXPECT_DOUBLE_EQ(ra.p99.value(), rb.p99.value());
+  EXPECT_DOUBLE_EQ(ra.mean_latency.value(), rb.mean_latency.value());
+  EXPECT_EQ(ra.span_cycles, rb.span_cycles);
+}
+
+TEST(Fleet, SeedChangesTheMeasurement) {
+  auto cfg = small_config();
+  ClusterFleet a{cfg};
+  cfg.seed = 4;
+  ClusterFleet b{cfg};
+  EXPECT_NE(a.run().p99.value(), b.run().p99.value());
+}
+
+TEST(Fleet, PowerAwarePacksAndRoundRobinSpreads) {
+  auto cfg = small_config();
+  cfg.servers = 3;
+  cfg.arrival.rate = 8'000.0;  // light: one server can absorb it
+
+  cfg.policy = BalancePolicy::kPowerAware;
+  const FleetResult packed = ClusterFleet{cfg}.run();
+  // Packing leaves the last server cold so it could sleep.
+  EXPECT_GT(packed.server_active_fraction[0], 0.0);
+  EXPECT_EQ(packed.server_active_fraction[2], 0.0);
+
+  cfg.policy = BalancePolicy::kRoundRobin;
+  const FleetResult spread = ClusterFleet{cfg}.run();
+  for (double a : spread.server_active_fraction) EXPECT_GT(a, 0.0);
+}
+
+TEST(Fleet, SaturatedFleetTruncatesAtTheCycleCap) {
+  auto cfg = small_config();
+  cfg.arrival.rate = 5e6;  // far beyond service capacity
+  cfg.requests = 4'000;
+  cfg.max_cycles = 200'000;
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LT(r.completed, 4'000u);
+  EXPECT_LE(r.span_cycles, 200'000u + cfg.quantum);
+}
+
+TEST(Fleet, QueueingInflatesTheTail) {
+  auto cfg = small_config();
+  cfg.requests = 120;
+  cfg.arrival.rate = 5'000.0;
+  const FleetResult light = ClusterFleet{cfg}.run();
+  cfg.arrival.rate = 2'000'000.0;  // ~70% of the fleet's service capacity
+  const FleetResult heavy = ClusterFleet{cfg}.run();
+  EXPECT_GT(heavy.mean_wait.value(), light.mean_wait.value());
+  EXPECT_GT(heavy.p99.value(), light.p99.value());
+}
+
+TEST(Fleet, EnergyAccountsIdleServersAtSleepPower) {
+  auto cfg = small_config();
+  cfg.servers = 3;
+  cfg.arrival.rate = 8'000.0;
+  cfg.policy = BalancePolicy::kPowerAware;
+  const FleetResult r = ClusterFleet{cfg}.run();
+
+  const power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  const pm::UipsCurve curve{{ghz(0.5), 1e10}, {ghz(2.0), 3e10}};
+  const pm::PowerManager manager{platform, curve};
+
+  const Joule e = fleet_energy(r, manager, ghz(2.0));
+  EXPECT_GT(e.value(), 0.0);
+  // Packing must cost less than a hypothetical all-active fleet.
+  const Second span{static_cast<double>(r.span_cycles) / 2e9};
+  FleetResult all_active = r;
+  for (auto& a : all_active.server_active_fraction) a = 1.0;
+  EXPECT_LT(e.value(), fleet_energy(all_active, manager, ghz(2.0)).value());
+  // And at least as much as a fleet asleep the whole span.
+  EXPECT_GE(e.value(), (manager.sleep_power() * span).value() * 3 * 0.99);
+}
+
+TEST(Fleet, ValidationRejectsBadConfigs) {
+  auto cfg = small_config();
+  cfg.servers = 0;
+  EXPECT_THROW(cfg.validate(), ModelError);
+  cfg = small_config();
+  cfg.requests = 0;
+  EXPECT_THROW(cfg.validate(), ModelError);
+  cfg = small_config();
+  cfg.user_instructions_per_request = 0;
+  EXPECT_THROW(cfg.validate(), ModelError);
+}
+
+}  // namespace
+}  // namespace ntserv::dc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dc/latency_stats.hpp"
+
+namespace ntserv::dc {
+namespace {
+
+/// Exact nearest-rank reference (the PercentileTracker convention).
+double exact_percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size())));
+  if (rank == 0) rank = 1;
+  if (rank > v.size()) rank = v.size();
+  return v[rank - 1];
+}
+
+TEST(StreamingPercentiles, GoldenValuesMatchExactSortOnSmallSamples) {
+  // Below the exact cap the estimator IS the exact sort: golden check on
+  // a deterministic sample set.
+  Xoshiro256StarStar rng{123};
+  std::vector<double> sample;
+  StreamingPercentiles sp;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    sample.push_back(x);
+    sp.add(x);
+  }
+  ASSERT_EQ(sp.count(), 200u);
+  for (double q : {0.50, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(sp.quantile(q), exact_percentile(sample, q)) << "q=" << q;
+  }
+  // And against the library's exact tracker for the same population.
+  PercentileTracker exact;
+  for (double x : sample) exact.add(x);
+  EXPECT_DOUBLE_EQ(sp.p99(), exact.percentile(99.0));
+  EXPECT_DOUBLE_EQ(sp.p50(), exact.percentile(50.0));
+}
+
+TEST(StreamingPercentiles, ExactUpToTheCapBoundary) {
+  Xoshiro256StarStar rng{9};
+  std::vector<double> sample;
+  StreamingPercentiles sp;
+  for (std::size_t i = 0; i < StreamingPercentiles::kExactCap; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    sample.push_back(x);
+    sp.add(x);
+  }
+  for (double q : {0.50, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(sp.quantile(q), exact_percentile(sample, q));
+  }
+}
+
+TEST(StreamingPercentiles, P2TracksExactOnLargeStreams) {
+  // Past the cap the P² markers take over; they must stay close to the
+  // exact percentiles of a smooth distribution.
+  Xoshiro256StarStar rng{77};
+  std::vector<double> sample;
+  StreamingPercentiles sp;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(1.0, 0.5);
+    sample.push_back(x);
+    sp.add(x);
+  }
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact = exact_percentile(sample, q);
+    EXPECT_NEAR(sp.quantile(q), exact, 0.03 * exact) << "q=" << q;
+  }
+}
+
+TEST(StreamingPercentiles, QuantilesAreOrdered) {
+  Xoshiro256StarStar rng{5};
+  StreamingPercentiles sp;
+  for (int i = 0; i < 10000; ++i) sp.add(rng.exponential(2.0));
+  EXPECT_LE(sp.p50(), sp.p95());
+  EXPECT_LE(sp.p95(), sp.p99());
+}
+
+TEST(StreamingPercentiles, RejectsUnregisteredQuantileAndEmpty) {
+  StreamingPercentiles sp;
+  EXPECT_THROW((void)sp.p50(), ModelError);  // empty
+  sp.add(1.0);
+  EXPECT_THROW((void)sp.quantile(0.42), ModelError);
+  EXPECT_THROW(StreamingPercentiles({1.5}), ModelError);
+}
+
+TEST(StreamingPercentiles, CustomQuantileSet) {
+  StreamingPercentiles sp{{0.25, 0.75}};
+  for (int i = 1; i <= 100; ++i) sp.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(sp.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(sp.quantile(0.75), 75.0);
+}
+
+}  // namespace
+}  // namespace ntserv::dc
