@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Diff the two newest bench/results/BENCH_*.json archives.
+
+Prints a per-benchmark table of real-time deltas between the previous and
+the newest google-benchmark JSON archive written by bench/run_bench.sh.
+Intended as a non-gating trend report (CI runs it when at least two
+archives exist); it always exits 0 unless the files are unreadable.
+
+Usage: bench/compare_bench.py [results_dir]   (default: bench/results)
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> (real_time, time_unit) for plain iterations."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip repetition aggregates (_mean/_median/_stddev rows).
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench/results"
+    archives = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
+    if len(archives) < 2:
+        print(f"compare_bench: fewer than two archives in {results_dir}; nothing to diff")
+        return 0
+
+    old_path, new_path = archives[-2], archives[-1]
+    old = load_benchmarks(old_path)
+    new = load_benchmarks(new_path)
+    print(f"compare_bench: {os.path.basename(old_path)} -> {os.path.basename(new_path)}")
+
+    name_w = max((len(n) for n in new), default=4)
+    print(f"{'benchmark':<{name_w}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+    for name in sorted(new):
+        t_new, unit = new[name]
+        if name not in old:
+            print(f"{name:<{name_w}}  {'—':>12}  {t_new:>10.1f}{unit}  {'new':>8}")
+            continue
+        t_old, old_unit = old[name]
+        if old_unit != unit or t_old == 0.0:
+            print(f"{name:<{name_w}}  {t_old:>10.1f}{old_unit}  {t_new:>10.1f}{unit}  {'n/a':>8}")
+            continue
+        delta = (t_new - t_old) / t_old * 100.0
+        print(f"{name:<{name_w}}  {t_old:>10.1f}{unit}  {t_new:>10.1f}{unit}  {delta:>+7.1f}%")
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{name_w}}  (removed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

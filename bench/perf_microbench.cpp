@@ -113,6 +113,63 @@ void BM_SweepParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// A single core against its memory system, on a dependency-heavy stream
+/// that keeps the ROB's waiting region full — the worst case for the
+/// polled issue scan and the best isolation of the issue stage. Range
+/// args: {issue scheduler (0 = polled scan, 1 = wakeup list), core clock
+/// in MHz (the paper's sweeps spend most wall-clock at the low end)}.
+void BM_IssueWakeup(benchmark::State& state) {
+  class ChainSource final : public cpu::UopSource {
+   public:
+    cpu::MicroOp next() override {
+      cpu::MicroOp op;
+      op.pc = 0x1000 + (n_ % 8) * 4;
+      // Mostly long serial chains (the window fills with waiting uops),
+      // salted with L1-resident loads so the memory path stays live.
+      if (n_ % 7 == 0) {
+        op.type = cpu::UopType::kLoad;
+        op.mem_addr = 0x100000 + (n_ % 128) * 8;
+      }
+      op.src_dist[0] = 1;
+      op.src_dist[1] = static_cast<std::uint16_t>(n_ % 5 == 0 ? 24 : 0);
+      ++n_;
+      return op;
+    }
+
+   private:
+    std::uint64_t n_ = 0;
+  };
+
+  cpu::CoreParams params;
+  params.wakeup_list = state.range(0) != 0;
+  const Hertz clock = mhz(static_cast<double>(state.range(1)));
+  ChainSource source;
+  cache::ClusterMemorySystem memory{cache::HierarchyParams{}, dram::DramConfig{}, clock};
+  cpu::OooCore core{params, 0, memory, source};
+  std::vector<cache::MissCompletion> completions;
+  Cycle now = 0;
+  auto run = [&](Cycle cycles) {
+    for (Cycle c = 0; c < cycles; ++c, ++now) {
+      memory.tick(now);
+      completions.clear();
+      memory.drain_completions_into(completions);
+      for (const auto& d : completions) core.on_miss_completion(d.user_tag, d.done);
+      core.tick(now);
+    }
+  };
+  run(20'000);  // warm
+  for (auto _ : state) {
+    run(1000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+  state.counters["ipc"] = core.stats().ipc();
+}
+BENCHMARK(BM_IssueWakeup)
+    ->Args({0, 200})
+    ->Args({1, 200})
+    ->Args({0, 2000})
+    ->Args({1, 2000});
+
 void BM_WorkloadGenerator(benchmark::State& state) {
   workload::SyntheticWorkload gen{workload::WorkloadProfile::data_serving(), 11};
   for (auto _ : state) {

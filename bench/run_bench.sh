@@ -3,6 +3,13 @@
 # BENCH_<date>.json (google-benchmark JSON), so the perf trajectory of
 # the simulator is tracked PR over PR.
 #
+# Archived runs are pinned for PR-over-PR comparability:
+#   * NTSERV_THREADS=1 — sweep fan-out width must not depend on the host
+#     (results are bit-identical anyway, but wall-clock is not);
+#   * --benchmark_min_time is pinned (NTSERV_BENCH_MIN_TIME, seconds) so
+#     iteration counts do not float with machine speed.
+# Compare the two newest archives with bench/compare_bench.py.
+#
 # Usage: bench/run_bench.sh [build_dir] [out_dir]
 set -euo pipefail
 
@@ -19,8 +26,9 @@ fi
 mkdir -p "${out_dir}"
 out="${out_dir}/BENCH_$(date +%Y-%m-%d).json"
 
-"${bin}" \
+NTSERV_THREADS=1 "${bin}" \
   --benchmark_format=json \
+  --benchmark_min_time="${NTSERV_BENCH_MIN_TIME:-0.25}" \
   --benchmark_repetitions="${NTSERV_BENCH_REPS:-1}" \
   --benchmark_out="${out}" \
   --benchmark_out_format=json

@@ -1,6 +1,8 @@
 #include "cpu/ooo_core.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -10,13 +12,32 @@ namespace {
 constexpr std::uint64_t kTagIFetch = 1ull << 63;
 constexpr std::uint64_t kTagStore = 1ull << 62;
 constexpr std::uint64_t kTagMask = kTagIFetch | kTagStore;
+
+/// Heap orders for the wakeup-list scheduler (std::*_heap build max-heaps,
+/// so both comparators are inverted to get minimums at the front).
+constexpr auto wake_later = [](const auto& a, const auto& b) { return a.at > b.at; };
+constexpr auto seq_greater = [](std::uint64_t a, std::uint64_t b) { return a > b; };
 }  // namespace
+
+bool default_wakeup_list() {
+  static const bool value = [] {
+    const char* env = std::getenv("NTSERV_WAKEUP_LIST");
+    if (env == nullptr) return true;
+    const std::string_view v{env};
+    return !(v == "0" || v == "false" || v == "off");
+  }();
+  return value;
+}
 
 OooCore::OooCore(CoreParams params, CoreId id, cache::ClusterMemorySystem& memory,
                  UopSource& source)
     : params_(params), id_(id), memory_(memory), source_(source), bpred_(params.bpred) {
   NTSERV_EXPECTS(params_.width > 0, "core width must be positive");
   NTSERV_EXPECTS(params_.rob_entries >= params_.width, "ROB must hold one fetch group");
+  // The wakeup-list scheduler assumes results land strictly after the
+  // cycle they become known (so a wake scheduled mid-issue is never due
+  // in the same cycle); every FU path already guarantees this.
+  NTSERV_EXPECTS(params_.forward_latency >= 1, "forwarding must take at least one cycle");
   fu_int_alu_.assign(static_cast<std::size_t>(params_.fu_int_alu), 0);
   fu_int_muldiv_.assign(static_cast<std::size_t>(params_.fu_int_muldiv), 0);
   fu_fp_.assign(static_cast<std::size_t>(params_.fu_fp), 0);
@@ -154,6 +175,7 @@ void OooCore::do_fetch(Cycle now) {
 
     const bool gate = e.mispredicted;
     rob_.push_back(std::move(e));
+    if (params_.wakeup_list) link_dependencies();
     if (gate) {
       // Mispredict redirect: the front end refetches from the correct
       // target after a fixed pipeline-refill bubble. (Trace-driven model:
@@ -180,6 +202,7 @@ bool OooCore::try_issue_entry(RobEntry& e, Cycle now) {
         e.ready_at = now + params_.forward_latency;
         ++stats_.load_forwards;
         ++stats_.issued;
+        if (params_.wakeup_list) wake_consumers(e);
         return true;
       }
     }
@@ -193,8 +216,9 @@ bool OooCore::try_issue_entry(RobEntry& e, Cycle now) {
     if (ticket.status == cache::AccessTicket::Status::kHit) {
       e.ready_known = true;
       e.ready_at = ticket.complete_at;
+      if (params_.wakeup_list) wake_consumers(e);
     } else {
-      e.ready_known = false;
+      e.ready_known = false;  // consumers stay parked until the completion
     }
     ++stats_.issued;
     return true;
@@ -206,10 +230,94 @@ bool OooCore::try_issue_entry(RobEntry& e, Cycle now) {
   e.ready_known = true;
   e.ready_at = now + std::max<Cycle>(lat, 1);
   ++stats_.issued;
+  if (params_.wakeup_list) wake_consumers(e);
   return true;
 }
 
+void OooCore::schedule_wake(std::uint64_t seq, Cycle at) {
+  wake_heap_.push_back(PendingWake{at, seq});
+  std::push_heap(wake_heap_.begin(), wake_heap_.end(), wake_later);
+}
+
+void OooCore::link_dependencies() {
+  RobEntry& e = rob_.back();
+  for (int s = 0; s < 2; ++s) {
+    const std::uint16_t d = e.op.src_dist[s];
+    if (d == 0) continue;
+    RobEntry* p = find_producer(e.seq, d);
+    if (p == nullptr) continue;  // producer already committed: ready
+    if (p->state != State::kWaiting && p->ready_known) {
+      e.ready_time = std::max(e.ready_time, p->ready_at);
+    } else {
+      // Producer's result cycle unknown (not yet issued, or miss
+      // outstanding): park on its consumer list until it is.
+      e.next_consumer[s] = p->consumer_head;
+      p->consumer_head = (e.seq << 1) | static_cast<std::uint64_t>(s);
+      ++e.wait_count;
+    }
+  }
+  if (e.wait_count == 0) schedule_wake(e.seq, e.ready_time);
+}
+
+void OooCore::wake_consumers(RobEntry& p) {
+  std::uint64_t link = p.consumer_head;
+  if (link == kNoLink) return;
+  p.consumer_head = kNoLink;
+  const std::uint64_t head_seq = rob_.front().seq;
+  while (link != kNoLink) {
+    const std::uint64_t seq = link >> 1;
+    const int slot = static_cast<int>(link & 1);
+    RobEntry& c = rob_[static_cast<std::size_t>(seq - head_seq)];
+    link = c.next_consumer[slot];
+    c.next_consumer[slot] = kNoLink;
+    c.ready_time = std::max(c.ready_time, p.ready_at);
+    if (--c.wait_count == 0) schedule_wake(seq, c.ready_time);
+  }
+}
+
+void OooCore::do_issue_wakeup(Cycle now) {
+  // Calendar drain: move every wake event that has come due into the
+  // seq-ordered ready heap. `at` stamps are exact, so no re-evaluation.
+  while (!wake_heap_.empty() && wake_heap_.front().at <= now) {
+    ready_heap_.push_back(wake_heap_.front().seq);
+    std::push_heap(ready_heap_.begin(), ready_heap_.end(), seq_greater);
+    std::pop_heap(wake_heap_.begin(), wake_heap_.end(), wake_later);
+    wake_heap_.pop_back();
+  }
+  if (ready_heap_.empty()) return;
+
+  // Pop oldest-first until `width` issue (exactly the polled scan's
+  // order and cutoff). FU-limited or memory-rejected entries retry next
+  // cycle; entries left by the cutoff stay queued.
+  const std::uint64_t head_seq = rob_.front().seq;
+  int issued = 0;
+  retry_scratch_.clear();
+  while (issued < params_.width && !ready_heap_.empty()) {
+    std::pop_heap(ready_heap_.begin(), ready_heap_.end(), seq_greater);
+    const std::uint64_t seq = ready_heap_.back();
+    ready_heap_.pop_back();
+    RobEntry& e = rob_[static_cast<std::size_t>(seq - head_seq)];
+    if (try_issue_entry(e, now)) {
+      ++issued;
+    } else {
+      retry_scratch_.push_back(seq);
+    }
+  }
+  for (const std::uint64_t seq : retry_scratch_) {
+    ready_heap_.push_back(seq);
+    std::push_heap(ready_heap_.begin(), ready_heap_.end(), seq_greater);
+  }
+}
+
 void OooCore::do_issue(Cycle now) {
+  if (params_.wakeup_list) {
+    do_issue_wakeup(now);
+  } else {
+    do_issue_polled(now);
+  }
+}
+
+void OooCore::do_issue_polled(Cycle now) {
   if (rob_.empty()) return;
   const std::uint64_t head_seq = rob_.front().seq;
   const std::size_t start =
@@ -302,6 +410,13 @@ void OooCore::on_miss_completion(std::uint64_t user_tag, Cycle done) {
   NTSERV_ENSURES(e.seq == user_tag, "ROB sequence bookkeeping corrupt");
   e.ready_known = true;
   e.ready_at = done;
+  if (params_.wakeup_list) {
+    // The completion wakes exactly the consumers parked on this load's
+    // list (the polled path instead re-bounds every waiting entry,
+    // including ones pinned by *other* pending misses).
+    wake_consumers(e);
+    return;
+  }
   // Re-bound operand caches pinned on pending misses: dependents of this
   // load can become ready from `done` on. Entries before the first
   // waiting seq are not waiting, so start the walk there.
@@ -356,11 +471,25 @@ Cycle OooCore::next_event_cycle(Cycle now) const {
     }
   }
 
-  // Issue: earliest operand-readiness among waiting entries (kNever-
-  // bounded entries wake via a miss completion, which caps quiet_until_).
-  // An entry whose operands are already ready must tick every cycle (it
-  // may be FU-limited or memory-rejected and retries).
-  if (!rob_.empty()) {
+  // Issue: earliest operand-readiness among waiting entries. An entry
+  // whose operands are already ready must tick every cycle (it may be
+  // FU-limited or memory-rejected and retries).
+  if (params_.wakeup_list) {
+    // The wake calendar holds the *exact* arrival cycle of every fully
+    // resolved waiting entry, so the bound is tight, not conservative.
+    // Entries still parked on a producer wake either with that producer
+    // (whose own event is covered here or by the memory system) or with
+    // a miss completion, which caps quiet_until_.
+    if (!ready_heap_.empty()) return now;  // ready: may be FU-limited, must tick
+    if (!wake_heap_.empty()) {
+      const Cycle at = wake_heap_.front().at;
+      if (at <= now) return now;
+      next = std::min(next, at);
+    }
+  } else if (!rob_.empty()) {
+    // Polled reference: conservative re-derivation over the waiting
+    // region (kNever-bounded entries wake via a miss completion, which
+    // caps quiet_until_).
     const std::uint64_t head_seq = rob_.front().seq;
     const std::uint64_t first = std::max(first_waiting_seq_, head_seq);
     for (std::size_t i = static_cast<std::size_t>(first - head_seq); i < rob_.size(); ++i) {

@@ -9,7 +9,11 @@
 //                 execute gating; wrong-path work is charged as stall time);
 //  * dispatch   — into a circular ROB window with register renaming via
 //                 dependency distances;
-//  * issue      — oldest-first within the window, operand- and FU-limited;
+//  * issue      — oldest-first within the window, operand- and FU-limited.
+//                 Two metric-identical schedulers: an event-driven
+//                 wakeup-list (producers push wake events, cost ~ issued
+//                 uops; the default) and the reference polled scan of the
+//                 waiting region (CoreParams::wakeup_list = false);
 //  * memory     — loads/stores through the cluster memory system with MSHR
 //                 back-pressure, store-to-load forwarding, posted stores
 //                 drained from a store buffer at commit;
@@ -40,6 +44,11 @@ struct FuLatencies {
   Cycle branch = 1;
 };
 
+/// Default for CoreParams::wakeup_list: true unless the environment sets
+/// NTSERV_WAKEUP_LIST to 0/false/off (CI uses this to matrix the whole
+/// test suite over both issue schedulers so the reference path cannot rot).
+[[nodiscard]] bool default_wakeup_list();
+
 struct CoreParams {
   int width = 3;             ///< fetch/dispatch/issue/commit width
   int rob_entries = 128;     ///< the paper's 128-entry instruction window
@@ -57,6 +66,13 @@ struct CoreParams {
   int fu_store = 1;
   int fu_branch = 1;
   BpredParams bpred;
+  /// Issue scheduler. true = wakeup-list scheduling: producers push wake
+  /// events to their consumers when a result's arrival cycle becomes
+  /// known, and do_issue pops at most `width` ready entries per cycle —
+  /// cost proportional to instructions issued. false = the reference
+  /// polled scan over the waiting ROB region (O(window) per active
+  /// cycle). The two are metric-identical (tests/test_perf_kernel.cpp).
+  bool wakeup_list = default_wakeup_list();
 };
 
 struct CoreStats {
@@ -141,6 +157,9 @@ class OooCore {
  private:
   enum class State : std::uint8_t { kWaiting, kIssued, kDone };
 
+  /// Null link for the intrusive consumer lists (wakeup-list scheduler).
+  static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
   struct RobEntry {
     MicroOp op;
     State state = State::kWaiting;
@@ -148,19 +167,43 @@ class OooCore {
     bool ready_known = false;  ///< false while a miss is outstanding
     std::uint64_t seq = 0;
     bool mispredicted = false;
-    /// Operand-readiness caches. Readiness is monotone (an issued
-    /// producer's ready_at never changes, commits only retire producers),
-    /// so once proven ready it stays ready (operands_ok); until then
-    /// not_before lower-bounds the next cycle worth re-examining
-    /// (kNever-pinned entries are re-bounded by miss completions).
+    /// Operand-readiness caches (polled scheduler). Readiness is monotone
+    /// (an issued producer's ready_at never changes, commits only retire
+    /// producers), so once proven ready it stays ready (operands_ok);
+    /// until then not_before lower-bounds the next cycle worth
+    /// re-examining (kNever-pinned entries are re-bounded by miss
+    /// completions).
     bool operands_ok = false;
     Cycle not_before = 0;
+    /// Wakeup-list scheduler state. As a producer, this entry heads an
+    /// intrusive list of waiting consumers, threaded through each
+    /// consumer's per-operand next_consumer link ((seq << 1) | slot
+    /// encoding). As a consumer, wait_count counts producers whose result
+    /// cycle is not yet known and ready_time accumulates the exact cycle
+    /// all known operands have landed.
+    std::uint64_t consumer_head = kNoLink;
+    std::uint64_t next_consumer[2] = {kNoLink, kNoLink};
+    Cycle ready_time = 0;
+    std::uint8_t wait_count = 0;
   };
 
   void do_fetch(Cycle now);
   void do_issue(Cycle now);
+  void do_issue_polled(Cycle now);
+  void do_issue_wakeup(Cycle now);
   void do_commit(Cycle now);
   void drain_store_buffer(Cycle now);
+
+  /// Wakeup-list scheduler: register the just-dispatched rob_.back() with
+  /// its in-flight producers (or schedule its wake directly when every
+  /// operand's arrival cycle is already known).
+  void link_dependencies();
+  /// Producer `p` just learned its ready_at: push wake events to the
+  /// consumers parked on its list, scheduling any that became fully
+  /// resolved.
+  void wake_consumers(RobEntry& p);
+  /// Queue entry `seq` to enter the ready heap once `at` arrives.
+  void schedule_wake(std::uint64_t seq, Cycle at);
 
   /// Earliest cycle the entry's operands can all be ready: <= now when
   /// ready now, kNeverCycle when gated by a miss-pending producer (the
@@ -201,6 +244,21 @@ class OooCore {
 
   /// Per-FU-class pipelines: next cycle each unit is free.
   std::vector<Cycle> fu_int_alu_, fu_int_muldiv_, fu_fp_, fu_load_, fu_store_, fu_branch_;
+
+  /// Wakeup-list scheduler queues (CoreParams::wakeup_list = true).
+  struct PendingWake {
+    Cycle at;           ///< exact cycle the entry's operands are all ready
+    std::uint64_t seq;
+  };
+  /// Min-heap by `at`: the cycle-indexed wake calendar. Its minimum feeds
+  /// next_event_cycle() an exact issue-side bound (tighter than the
+  /// polled path's conservative re-derivation).
+  std::vector<PendingWake> wake_heap_;
+  /// Min-heap by seq of operand-ready waiting entries, so pops replicate
+  /// the polled scan's oldest-first order. FU-limited or memory-rejected
+  /// entries are re-pushed and retried next cycle.
+  std::vector<std::uint64_t> ready_heap_;
+  std::vector<std::uint64_t> retry_scratch_;  ///< reused per cycle
 
   int loads_in_flight_ = 0;
   int stores_in_window_ = 0;

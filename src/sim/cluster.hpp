@@ -17,6 +17,9 @@
 namespace ntserv::sim {
 
 struct ClusterConfig {
+  /// Core model parameters. core.wakeup_list selects the issue
+  /// scheduler: the event-driven wakeup list (default) or the reference
+  /// polled scan — metric-identical, matrixed by the equivalence tests.
   cpu::CoreParams core;
   cache::HierarchyParams hierarchy;
   dram::DramConfig dram;
@@ -25,6 +28,10 @@ struct ClusterConfig {
   /// directly to the next scheduled event instead of spinning empty
   /// ticks. Metric-equivalent to cycle-by-cycle simulation (verified by
   /// the kernel equivalence tests); disable to force the ticked path.
+  /// With the wakeup-list scheduler the per-core hints feeding
+  /// next_cluster_event() are exact on the issue side (the wake
+  /// calendar's next non-empty bucket), so quiet windows get tighter
+  /// than the polled path's conservative re-derivation.
   bool event_skipping = true;
 };
 

@@ -52,6 +52,41 @@ struct CoreRig {
   Cycle now = 0;
 };
 
+/// Run the same scripted stream through both issue schedulers and require
+/// bit-identical stats — the wakeup-list path must be indistinguishable
+/// from the polled reference scan.
+void expect_schedulers_identical(const std::function<MicroOp(std::uint64_t)>& gen,
+                                 Cycle cycles, CoreParams base = {},
+                                 Hertz clock = ghz(1.0)) {
+  CoreParams polled = base;
+  polled.wakeup_list = false;
+  CoreParams wakeup = base;
+  wakeup.wakeup_list = true;
+  CoreRig a{gen, polled, clock};
+  CoreRig b{gen, wakeup, clock};
+  a.run(cycles);
+  b.run(cycles);
+  const CoreStats& sa = a.core.stats();
+  const CoreStats& sb = b.core.stats();
+  EXPECT_EQ(sa.cycles, sb.cycles);
+  EXPECT_EQ(sa.committed_total, sb.committed_total);
+  EXPECT_EQ(sa.committed_user, sb.committed_user);
+  EXPECT_EQ(sa.issued, sb.issued);
+  EXPECT_EQ(sa.loads, sb.loads);
+  EXPECT_EQ(sa.stores, sb.stores);
+  EXPECT_EQ(sa.load_forwards, sb.load_forwards);
+  EXPECT_EQ(sa.branches, sb.branches);
+  EXPECT_EQ(sa.branch_mispredicts, sb.branch_mispredicts);
+  EXPECT_EQ(sa.fetch_stall_cycles, sb.fetch_stall_cycles);
+  EXPECT_EQ(sa.rob_full_cycles, sb.rob_full_cycles);
+  const auto& ma = a.memory.stats();
+  const auto& mb = b.memory.stats();
+  EXPECT_EQ(ma.l1d_hits, mb.l1d_hits);
+  EXPECT_EQ(ma.l1d_misses, mb.l1d_misses);
+  EXPECT_EQ(ma.llc_misses, mb.llc_misses);
+  EXPECT_EQ(ma.rejected, mb.rejected);
+}
+
 TEST(Core, IndependentAluStreamReachesFuLimit) {
   // Two integer ALUs bound a pure-ALU stream at IPC ~2 (not the 3-wide
   // front-end width).
@@ -218,6 +253,110 @@ TEST(Core, RobWindowBoundsInFlightWork) {
   rig.run(10000);
   // Tiny window + misses: heavy ROB-full or fetch-stall pressure, IPC low.
   EXPECT_LT(rig.core.stats().ipc(), 0.8);
+}
+
+// ---- wakeup-list edge cases the polled scan used to hide ----
+
+TEST(CoreWakeup, SameCycleForwardingChainMatchesPolledPath) {
+  // store -> dependent load (store-to-load forwarded at forward_latency)
+  // -> dependent ALU: the load's wake fires from the forwarding site the
+  // same cycle the store issues, and the ALU must then wake exactly
+  // forward_latency later.
+  expect_schedulers_identical(
+      [](std::uint64_t i) {
+        MicroOp op = alu_op(i);
+        switch (i % 4) {
+          case 0:
+            op.type = UopType::kStore;
+            op.mem_addr = 0x400000 + (i % 16) * 8;
+            break;
+          case 1:
+            op.type = UopType::kLoad;
+            op.mem_addr = 0x400000 + ((i - 1) % 16) * 8;  // forwarded
+            op.src_dist[0] = 1;  // register-dependent on the store
+            break;
+          case 2:
+            op.src_dist[0] = 1;  // consumes the forwarded load
+            break;
+          default: break;
+        }
+        return op;
+      },
+      8000);
+}
+
+TEST(CoreWakeup, WidthLimitedPopsLeaveEntriesQueued) {
+  // One unpipelined 12-cycle divide fans out to seven dependents: they
+  // all wake the same cycle, more than the 3-wide issue stage can pop,
+  // so the ready queue must carry the rest into later cycles.
+  expect_schedulers_identical(
+      [](std::uint64_t i) {
+        MicroOp op = alu_op(i);
+        if (i % 8 == 0) {
+          op.type = UopType::kIntDiv;
+        } else {
+          op.src_dist[0] = static_cast<std::uint16_t>(i % 8);  // all on the divide
+        }
+        return op;
+      },
+      8000);
+}
+
+TEST(CoreWakeup, MissCompletionRewakesPreciselyNotByStaleBound) {
+  // Two independent cold misses in flight: the polled path's completion
+  // walk re-bounds *every* waiting entry to the first miss's done cycle
+  // (a stale bound for entries chained to the second miss) and recovers
+  // by re-deriving readiness; the wakeup list instead wakes exactly the
+  // completed load's consumers. Both must land on identical metrics.
+  expect_schedulers_identical(
+      [](std::uint64_t i) {
+        MicroOp op = alu_op(i);
+        switch (i % 6) {
+          case 0:
+            op.type = UopType::kLoad;
+            op.mem_addr = (i * 131071) % (1ull << 31);  // cold miss A
+            break;
+          case 1:
+            op.type = UopType::kLoad;
+            op.mem_addr = (1ull << 31) + (i * 65537) % (1ull << 30);  // cold miss B
+            break;
+          case 2:
+            op.src_dist[0] = 1;  // chained to miss B
+            break;
+          case 3:
+            op.src_dist[0] = 3;  // chained to miss A
+            break;
+          default: break;
+        }
+        return op;
+      },
+      30000);
+}
+
+TEST(CoreWakeup, RedirectKeepsQueuedWakeEventsDraining) {
+  // Mispredict-heavy stream with live dependency chains: the redirect
+  // bubble blocks fetch while already-queued wake events keep the
+  // backend draining (trace-driven model: no squash, wrong-path work is
+  // charged as the bubble). Queued wakes must survive the redirect.
+  expect_schedulers_identical(
+      [](std::uint64_t i) {
+        MicroOp op = alu_op(i);
+        if (i % 5 == 4) {
+          op.type = UopType::kBranch;
+          const std::uint64_t h = i * 0x9E3779B97F4A7C15ull;
+          op.branch_taken = ((h >> 37) & 1) != 0;  // unpredictable
+        } else {
+          op.src_dist[0] = static_cast<std::uint16_t>(1 + (i % 3));
+        }
+        return op;
+      },
+      10000);
+}
+
+TEST(CoreWakeup, DefaultFollowsEnvironmentOverride) {
+  // The CI matrix flips the whole suite through NTSERV_WAKEUP_LIST; the
+  // default must be stable within a process (cached once).
+  EXPECT_EQ(default_wakeup_list(), CoreParams{}.wakeup_list);
 }
 
 TEST(Core, ResetStatsClearsCounters) {
