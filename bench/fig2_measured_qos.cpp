@@ -101,11 +101,14 @@ int main() {
   bench::print_table(h, "fig2_measured_heavy");
 
   // Policy face-off at the serving fleet's efficiency-relevant frequencies.
-  std::cout << "Scenario catalog at 2 GHz (policy / arrival family coverage):\n";
+  // The offered/admitted/shed counters make saturation runs diagnosable:
+  // a scenario that sheds 20% at a healthy tail reads very differently
+  // from one that truncates with an unbounded queue.
+  std::cout << "Scenario catalog at 2 GHz (policy / arrival / control coverage):\n";
   const auto catalog = dc::Scenario::registry();
   const auto results = dc::run_scenarios(catalog, ghz(2.0));
   TextTable c({"scenario", "policy", "arrivals", "p99 (us)", "mean (us)", "util",
-               "active frac (per server)"});
+               "offered", "shed %", "retries", "governor", "active frac"});
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     std::string fracs;
     for (double a : results[i].server_active_fraction) {
@@ -115,7 +118,11 @@ int main() {
     c.add_row({catalog[i].name, to_string(catalog[i].policy),
                to_string(catalog[i].arrival.kind), TextTable::num(in_us(results[i].p99), 1),
                TextTable::num(in_us(results[i].mean_latency), 1),
-               TextTable::num(results[i].utilization, 3), fracs});
+               TextTable::num(results[i].utilization, 3),
+               std::to_string(results[i].offered),
+               TextTable::num(results[i].shed_rate * 100.0, 1),
+               std::to_string(results[i].retries), to_string(catalog[i].governor.kind),
+               fracs});
   }
   bench::print_table(c, "fig2_measured_catalog");
   return 0;

@@ -113,6 +113,24 @@ void BM_SweepParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// One closed-loop fleet run (governed dispatch, epochs, admission,
+/// budgets): the whole src/ctrl + src/dc serving stack end to end, sized
+/// for bench turnaround. Range arg 0 = open loop at 2 GHz, 1 = NTC-boost
+/// governor — the delta is the runtime-control overhead plus whatever
+/// DVFS trajectory the governor drives.
+void BM_ClosedLoopFleet(benchmark::State& state) {
+  dc::Scenario s = dc::Scenario::by_name("webserving-diurnal-ntcboost");
+  s.requests = 60;
+  s.warmup_requests = 8;
+  if (state.range(0) == 0) s.governor.kind = ctrl::GovernorKind::kNone;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc::run_scenario(s, ghz(2.0)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.requests));
+}
+BENCHMARK(BM_ClosedLoopFleet)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// A single core against its memory system, on a dependency-heavy stream
 /// that keeps the ROB's waiting region full — the worst case for the
 /// polled issue scan and the best isolation of the issue stage. Range

@@ -24,7 +24,10 @@ if [[ ! -x "${bin}" ]]; then
 fi
 
 mkdir -p "${out_dir}"
-out="${out_dir}/BENCH_$(date +%Y-%m-%d).json"
+# NTSERV_BENCH_TAG distinguishes same-day archives (e.g. "r2" for a
+# second PR landing on one date); it must sort lexicographically after
+# ".json" strips, which plain alphanumerics do.
+out="${out_dir}/BENCH_$(date +%Y-%m-%d)${NTSERV_BENCH_TAG:-}.json"
 
 NTSERV_THREADS=1 "${bin}" \
   --benchmark_format=json \

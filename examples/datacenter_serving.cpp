@@ -65,5 +65,23 @@ int main() {
     std::cout << "], fleet energy "
               << dc::fleet_energy(r, manager, ghz(2.0)).value() << " J\n";
   }
+
+  // 5. Close the loop (src/ctrl): run a short diurnal scenario under the
+  //    NTC-boost governor — pinned at the efficiency optimum, FBB-boosted
+  //    on measured tail pressure — against the unmanaged baseline.
+  std::cout << "\nClosed-loop governors on a short diurnal run:\n";
+  dc::Scenario diurnal = dc::Scenario::by_name("webserving-diurnal-ntcboost");
+  diurnal.requests = 250;
+  diurnal.warmup_requests = 25;
+  for (auto kind : {ctrl::GovernorKind::kFixedMax, ctrl::GovernorKind::kNtcBoost}) {
+    dc::Scenario s = diurnal;
+    s.governor.kind = kind;
+    const auto r = dc::run_scenario(s, ghz(2.0));
+    std::cout << "  " << to_string(kind) << ": p99 " << in_us(r.p99) << " us, energy "
+              << r.energy.value() * 1e3 << " mJ, avg f " << r.avg_frequency_ghz
+              << " GHz, " << r.transitions << " transitions, "
+              << r.qos_violation_epochs << " QoS violations, shed rate " << r.shed_rate
+              << "\n";
+  }
   return 0;
 }

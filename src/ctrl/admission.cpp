@@ -1,0 +1,31 @@
+#include "ctrl/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ntserv::ctrl {
+
+void AdmissionConfig::validate() const {
+  NTSERV_EXPECTS(max_outstanding_per_core > 0.0,
+                 "admission depth threshold must be positive");
+  NTSERV_EXPECTS(max_retries >= 0, "retry budget cannot be negative");
+  NTSERV_EXPECTS(backoff.value() > 0.0, "back-off must be positive");
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config) : config_(config) {
+  config_.validate();
+}
+
+bool AdmissionController::admit(int outstanding, int cores) const {
+  if (!config_.enabled) return true;
+  const double cap = config_.max_outstanding_per_core * static_cast<double>(cores);
+  return static_cast<double>(outstanding) < cap;
+}
+
+Second AdmissionController::retry_delay(int attempt) const {
+  NTSERV_EXPECTS(attempt >= 0, "attempt index cannot be negative");
+  return config_.backoff * static_cast<double>(1ull << std::min(attempt, 20));
+}
+
+}  // namespace ntserv::ctrl

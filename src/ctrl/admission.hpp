@@ -1,0 +1,68 @@
+// Admission control and client back-off for saturated serving fleets.
+//
+// The open-loop arrival processes (dc/arrival.hpp) keep offering requests
+// however deep the queues grow; before this module the only protections
+// were the `truncated` flag and a safety cycle cap. Real serving systems
+// bound the queue instead: a request arriving at a server whose backlog
+// exceeds a depth threshold is rejected, the client backs off
+// deterministically and retries, and after a bounded number of attempts
+// the request is shed. The shed rate then becomes a first-class metric of
+// a saturation scenario — a run that sheds 30% at a QoS-meeting tail is a
+// very different outcome from one that truncates with an unbounded queue,
+// and the governor experiments need to distinguish them.
+//
+// The controller is a pure decision function of the observed backlog, so
+// fleet runs stay deterministic: back-off delays are a fixed geometric
+// schedule (no jitter needed — the arrival stream already decorrelates
+// retry times), and every decision is made inside the single-threaded
+// fleet loop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace ntserv::ctrl {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Admit while the chosen server's outstanding count (queued + in
+  /// service) is below this many requests per core — the queue-depth
+  /// analogue of an estimated-wait threshold (wait ~= depth * service).
+  double max_outstanding_per_core = 4.0;
+  /// Retries a client attempts before the request is shed for good.
+  int max_retries = 3;
+  /// Base client back-off; attempt k (0-based) retries after
+  /// backoff * 2^k — deterministic truncated binary exponential back-off.
+  Second backoff{50e-6};
+
+  void validate() const;
+};
+
+/// Admission decision + shed accounting. The fleet consults `admit` for
+/// every dispatch attempt (first try and retries alike) and uses
+/// `retry_delay` to schedule the client's next attempt.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+  /// True when a server with `outstanding` requests over `cores` cores
+  /// should accept one more. Always true when the controller is disabled.
+  [[nodiscard]] bool admit(int outstanding, int cores) const;
+
+  /// True when a request rejected on attempt `attempt` (0-based) may try
+  /// again; false means it is shed.
+  [[nodiscard]] bool may_retry(int attempt) const {
+    return attempt < config_.max_retries;
+  }
+
+  /// Back-off delay before the (attempt+1)-th try.
+  [[nodiscard]] Second retry_delay(int attempt) const;
+
+ private:
+  AdmissionConfig config_;
+};
+
+}  // namespace ntserv::ctrl

@@ -1,0 +1,270 @@
+#include "ctrl/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "power/server_power.hpp"
+#include "tech/body_bias.hpp"
+#include "tech/technology.hpp"
+
+namespace ntserv::ctrl {
+
+const char* to_string(GovernorKind k) {
+  switch (k) {
+    case GovernorKind::kNone: return "open-loop";
+    case GovernorKind::kFixedMax: return "fixed-max";
+    case GovernorKind::kOndemandDvfs: return "ondemand-dvfs";
+    case GovernorKind::kNtcBoost: return "ntc-boost";
+  }
+  return "unknown";
+}
+
+void GovernorConfig::validate() const {
+  NTSERV_EXPECTS(epoch_quanta > 0, "epoch must span at least one quantum");
+  NTSERV_EXPECTS(headroom >= 1.0, "ondemand headroom must be >= 1");
+  NTSERV_EXPECTS(up_threshold > 0.0 && up_threshold <= 1.0,
+                 "ondemand up-threshold must be in (0,1]");
+  NTSERV_EXPECTS(down_steps >= 1, "ondemand must be able to descend");
+  NTSERV_EXPECTS(boost_fraction > 0.0 && boost_fraction <= 1.0,
+                 "boost fraction must be in (0,1]");
+  NTSERV_EXPECTS(release_fraction > 0.0 && release_fraction < boost_fraction,
+                 "release fraction must be in (0, boost_fraction)");
+  NTSERV_EXPECTS(core_activity > 0.0 && core_activity <= 1.0,
+                 "core activity must be in (0,1]");
+  NTSERV_EXPECTS(curve.empty() || curve.size() >= 2,
+                 "a supplied UIPS curve needs at least two points");
+  if (kind == GovernorKind::kNtcBoost) {
+    NTSERV_EXPECTS(qos_p99_limit.value() > 0.0,
+                   "kNtcBoost needs a positive qos_p99_limit (anchor one via "
+                   "qos::sim_qos_limit)");
+    NTSERV_EXPECTS(boost_utilization > 0.0 && boost_utilization <= 1.0,
+                   "boost utilization trigger must be in (0,1]");
+    NTSERV_EXPECTS(release_utilization > 0.0 && release_utilization < boost_utilization,
+                   "release utilization must be in (0, boost_utilization)");
+    NTSERV_EXPECTS(ntc_min_capacity > 0.0 && ntc_min_capacity <= 1.0,
+                   "NTC provisioning floor must be in (0,1]");
+  }
+}
+
+pm::UipsCurve default_uips_curve() {
+  // Same nominal per-core UIPC the scenario sizing uses (0.35 at 2 GHz),
+  // chip scale, with a mildly sub-linear high end (uncore and DRAM time
+  // do not scale with core frequency). Only ratios matter to the
+  // governors, so the absolute scale is cosmetic.
+  constexpr double kUipsAt2GHz = 0.35 * 36 * 2e9;
+  pm::UipsCurve curve;
+  for (int i = 0; i < 10; ++i) {
+    const double f = 0.2e9 + (2.0e9 - 0.2e9) * static_cast<double>(i) / 9.0;
+    curve.push_back({Hertz{f}, kUipsAt2GHz * std::pow(f / 2e9, 0.8)});
+  }
+  return curve;
+}
+
+pm::PowerManager make_power_manager(const GovernorConfig& config) {
+  const power::ServerPowerModel platform{
+      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  return pm::PowerManager{platform,
+                          config.curve.empty() ? default_uips_curve() : config.curve,
+                          config.core_activity};
+}
+
+namespace {
+
+/// Per-core well area for the body-bias transition model: the chip's die
+/// area spread over its cores (the paper's datum is a 5 mm^2 core).
+double core_area_mm2(const pm::PowerManager& manager) {
+  const auto& chip = manager.platform().chip();
+  return chip.die_area_mm2 / static_cast<double>(chip.total_cores());
+}
+
+class FixedMaxGovernor final : public FleetGovernor {
+ public:
+  explicit FixedMaxGovernor(const pm::PowerManager& manager)
+      : f_max_(manager.curve().back().frequency) {}
+
+  [[nodiscard]] GovernorKind kind() const override { return GovernorKind::kFixedMax; }
+  [[nodiscard]] Hertz initial_frequency() const override { return f_max_; }
+  [[nodiscard]] Hertz decide(const EpochObservation&) override { return f_max_; }
+  [[nodiscard]] Second transition_time(Hertz, Hertz) const override { return Second{0.0}; }
+  [[nodiscard]] bool sleeps_when_idle() const override { return false; }
+
+ private:
+  Hertz f_max_;
+};
+
+class OndemandGovernor final : public FleetGovernor {
+ public:
+  OndemandGovernor(const GovernorConfig& config, const pm::PowerManager& manager)
+      : manager_(manager), headroom_(config.headroom),
+        up_threshold_(config.up_threshold), down_steps_(config.down_steps) {}
+
+  [[nodiscard]] GovernorKind kind() const override { return GovernorKind::kOndemandDvfs; }
+
+  [[nodiscard]] Hertz initial_frequency() const override {
+    // Start at the top like the kernel's ondemand: the first epochs carry
+    // no measurement, and QoS-safe means over-provisioned, not under.
+    return manager_.curve().back().frequency;
+  }
+
+  [[nodiscard]] Hertz decide(const EpochObservation& obs) override {
+    // A saturated epoch jumps straight to the top: measured demand
+    // saturates at the current capacity, so proportional scaling would
+    // climb out of an overload one grid step per epoch.
+    if (obs.utilization >= up_threshold_) return manager_.curve().back().frequency;
+    // Measured demand in curve units: the epoch's busy fraction times the
+    // throughput the fleet could have delivered at the epoch's frequency.
+    const double demand = obs.utilization * manager_.uips_at(obs.frequency);
+    const Hertz target = manager_.grid_frequency_for_uips(headroom_ * demand);
+    // Fast up, gradual down: never descend more than down_steps grid
+    // points per epoch, so one cold epoch cannot strand the fleet at the
+    // bottom of the grid for a whole reaction interval.
+    const auto& curve = manager_.curve();
+    const std::size_t cur = grid_index(obs.frequency);
+    const std::size_t tgt = grid_index(target);
+    if (tgt < cur && cur - tgt > static_cast<std::size_t>(down_steps_)) {
+      return curve[cur - static_cast<std::size_t>(down_steps_)].frequency;
+    }
+    return target;
+  }
+
+  [[nodiscard]] Second transition_time(Hertz from, Hertz to) const override {
+    if (from == to) return Second{0.0};
+    // A DVFS step is gated by the off-chip regulator's voltage ramp
+    // between the two operating points' supplies.
+    const auto& t = manager_.platform().tech();
+    return tech::dvfs_transition_time(t.voltage_for(from), t.voltage_for(to));
+  }
+
+  [[nodiscard]] bool sleeps_when_idle() const override { return false; }
+
+ private:
+  /// Index of the curve point nearest to `f` (the grid a real DVFS
+  /// driver exposes).
+  [[nodiscard]] std::size_t grid_index(Hertz f) const {
+    const auto& curve = manager_.curve();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      if (std::abs(curve[i].frequency.value() - f.value()) <
+          std::abs(curve[best].frequency.value() - f.value())) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  const pm::PowerManager& manager_;
+  double headroom_;
+  double up_threshold_;
+  int down_steps_;
+};
+
+class NtcBoostGovernor final : public FleetGovernor {
+ public:
+  NtcBoostGovernor(const GovernorConfig& config, const pm::PowerManager& manager)
+      : manager_(manager),
+        // The pin: the most server-efficient grid point that still
+        // covers the provisioning floor (ntc_min_capacity of peak
+        // throughput). The unconstrained efficiency optimum of a
+        // strongly sub-linear measured curve can sit far below the
+        // service's sustained load — a fleet parked there would live on
+        // the boost, which defeats it.
+        f_opt_(manager.efficiency_optimal_frequency(config.ntc_min_capacity *
+                                                    manager.peak_uips())),
+        f_boost_(manager.curve().back().frequency),
+        limit_(config.qos_p99_limit),
+        boost_at_(config.qos_p99_limit * config.boost_fraction),
+        release_at_(config.qos_p99_limit * config.release_fraction),
+        util_boost_(config.boost_utilization),
+        util_release_(config.release_utilization) {
+    // The FBB boost point: forward bias at the nominal top operating
+    // point's supply shifts Vth down and lifts the reachable frequency
+    // *above* the DVFS maximum (paper Sec. II-A item 2: computation
+    // spikes). Clamped into the base flavor's feasible range so the
+    // power model can still assign it a voltage.
+    const auto& base = manager.platform().tech();
+    const tech::TechnologyModel fbb{tech::TechnologyParams::fdsoi28_fbb()};
+    const Hertz lifted = fbb.frequency_at(base.voltage_for(f_boost_));
+    const Hertz feasible_cap = base.max_frequency() * 0.95;
+    if (lifted > f_boost_) f_boost_ = std::min(lifted, feasible_cap);
+    // Boosted epochs are charged through the forward-biased device: the
+    // supply stays at the nominal top voltage (that is the whole point
+    // of the FBB spike response), and the bias's leakage penalty is what
+    // the overdrive costs.
+    boosted_manager_ = std::make_unique<pm::PowerManager>(
+        manager.platform().with_tech(fbb), manager.curve(), config.core_activity);
+  }
+
+  [[nodiscard]] GovernorKind kind() const override { return GovernorKind::kNtcBoost; }
+  [[nodiscard]] Hertz initial_frequency() const override { return f_opt_; }
+
+  [[nodiscard]] Hertz decide(const EpochObservation& obs) override {
+    // Two boost triggers: measured tail pressure (the SLO feedback) and
+    // measured saturation (the leading indicator — a pinned fleet that
+    // has run out of capacity will violate a lagging p99 before the p99
+    // can report it). Absent any completion, the tail contributes no
+    // signal and only utilization speaks.
+    const bool tail_signal = obs.p99.value() > 0.0;
+    const bool pressure = (tail_signal && obs.p99 > boost_at_) ||
+                          obs.utilization >= util_boost_;
+    const bool tail_calm = !tail_signal || obs.p99 < release_at_;
+    if (!boosted_ && pressure) {
+      boosted_ = true;
+    } else if (boosted_ && tail_calm && obs.utilization < util_release_) {
+      boosted_ = false;
+    }
+    return boosted_ ? f_boost_ : f_opt_;
+  }
+
+  [[nodiscard]] Second transition_time(Hertz from, Hertz to) const override {
+    if (from == to) return Second{0.0};
+    // Boost engages through the forward-body-bias network, not a voltage
+    // ramp: the sub-microsecond swing is exactly why the paper argues FBB
+    // can serve computation spikes (Sec. II-A item 2).
+    const Volt swing = tech::TechnologyParams::fdsoi28_fbb().body_bias;
+    return tech::bias_transition_time(core_area_mm2(manager_), Volt{0.0}, swing);
+  }
+
+  [[nodiscard]] bool sleeps_when_idle() const override { return true; }
+  [[nodiscard]] bool boosted() const override { return boosted_; }
+
+  [[nodiscard]] Joule epoch_energy(const pm::PowerManager& manager, Hertz f, double duty,
+                                   Second duration) const override {
+    if (f == f_boost_ && f_boost_ > manager.curve().back().frequency) {
+      return boosted_manager_->energy_for_duty(f, duty, duration);
+    }
+    return manager.energy_for_duty(f, duty, duration);
+  }
+
+ private:
+  const pm::PowerManager& manager_;
+  Hertz f_opt_;
+  Hertz f_boost_;
+  Second limit_;
+  Second boost_at_;
+  Second release_at_;
+  double util_boost_;
+  double util_release_;
+  std::unique_ptr<pm::PowerManager> boosted_manager_;
+  bool boosted_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<FleetGovernor> make_governor(const GovernorConfig& config,
+                                             const pm::PowerManager& manager) {
+  config.validate();
+  switch (config.kind) {
+    case GovernorKind::kNone:
+      throw ModelError("kNone is the open-loop marker, not a governor");
+    case GovernorKind::kFixedMax:
+      return std::make_unique<FixedMaxGovernor>(manager);
+    case GovernorKind::kOndemandDvfs:
+      return std::make_unique<OndemandGovernor>(config, manager);
+    case GovernorKind::kNtcBoost:
+      return std::make_unique<NtcBoostGovernor>(config, manager);
+  }
+  throw ModelError("unknown governor kind");
+}
+
+}  // namespace ntserv::ctrl

@@ -1,0 +1,181 @@
+// Reactive DVFS governors for the closed-loop serving fleet.
+//
+// src/pm simulates power-management policies over an *offline* demand
+// trace; src/dc serves *measured* requests at one fixed frequency. This
+// module is the bridge the paper's Sec. V-C argument actually needs: a
+// governor observes each epoch of the running fleet simulation (measured
+// utilization, measured tail latency) and picks the next epoch's
+// frequency, paying the physical transition costs from tech/body_bias.
+// Three governors map onto the pm::Policy taxonomy:
+//
+//  * kFixedMax     — pin f_max, never sleep: the unmanaged baseline
+//                    (pm::Policy::kFixedMax as a runtime controller);
+//  * kOndemandDvfs — each epoch, the slowest curve frequency whose
+//                    throughput covers the measured demand plus headroom
+//                    (pm::Policy::kDvfsFollow reacting to measurement
+//                    instead of an oracle trace), paying the DVFS
+//                    voltage-ramp time on every change;
+//  * kNtcBoost     — pin the server-efficiency optimum and duty-cycle
+//                    around it; when the measured epoch p99 approaches the
+//                    QoS limit, engage a forward-body-bias boost *above*
+//                    the nominal DVFS maximum (FBB at constant supply
+//                    lifts the reachable frequency) with the *fast*
+//                    (~1 us) bias transition — the paper's thesis
+//                    (Sec. II-A item 2) expressed as a feedback
+//                    controller.
+//
+// Governors are deterministic state machines over measurements that are
+// themselves seed-derived, so a governed fleet run is bit-reproducible
+// and thread-count invariant exactly like the open-loop runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+#include "pm/power_manager.hpp"
+
+namespace ntserv::ctrl {
+
+enum class GovernorKind {
+  kNone,         ///< open loop: the fleet's fixed configured frequency
+  kFixedMax,     ///< always the curve's top frequency, duty 1.0
+  kOndemandDvfs, ///< slowest curve point covering measured demand
+  kNtcBoost,     ///< efficiency optimum + FBB boost on p99 pressure
+};
+
+[[nodiscard]] const char* to_string(GovernorKind k);
+
+/// What the fleet hands the governor at the end of each epoch.
+struct EpochObservation {
+  std::uint64_t epoch = 0;
+  Hertz frequency;             ///< frequency the epoch ran at
+  double utilization = 0.0;    ///< busy-core fraction over the epoch
+  std::uint64_t completions = 0;
+  /// Nearest-rank p99 of the epoch's completed-request latencies;
+  /// 0 when the epoch completed nothing (no tail signal: hold).
+  Second p99{0.0};
+};
+
+/// Per-epoch outcome record. Embeds the pm::EpochDecision record so the
+/// closed-loop trajectory can be compared 1:1 against the offline
+/// pm::PowerManager::run decisions for the same demand shape.
+struct EpochRecord {
+  pm::EpochDecision decision;  ///< frequency/duty/sleep/power, shared with src/pm
+  std::uint64_t epoch = 0;
+  double utilization = 0.0;
+  Second p99{0.0};             ///< measured epoch tail (0 = no completions)
+  Second duration{0.0};
+  bool transition = false;     ///< epoch began with a frequency change
+  Second transition_time{0.0};
+  bool boosted = false;        ///< NTC governor had its FBB boost engaged
+  bool violation = false;      ///< p99 over the QoS limit (transition epochs excluded)
+};
+
+struct GovernorConfig {
+  GovernorKind kind = GovernorKind::kNone;
+  /// Epoch length in dispatch quanta *at the fleet's configured base
+  /// frequency* (epoch = epoch_quanta * quantum / f_base seconds, a
+  /// constant wall-time control interval — a governor that slowed the
+  /// clock must not also slow its own reaction time). Size it so an
+  /// epoch completes enough requests for its p99 to be a tail, not a
+  /// single sample — tens of completions minimum for the boost feedback
+  /// to be stable.
+  int epoch_quanta = 512;
+  /// UIPS(f) curve: the DVFS grid the governors pick from and the
+  /// capacity model demand is measured against. Empty means "use
+  /// ctrl::default_uips_curve()" (resolved at fleet construction).
+  pm::UipsCurve curve;
+  /// Ondemand capacity margin: chosen capacity >= headroom * measured
+  /// demand, so utilization settles near 1/headroom.
+  double headroom = 1.4;
+  /// Ondemand up-threshold: an epoch whose utilization reaches this jumps
+  /// straight to the top frequency (the kernel governor's rule — measured
+  /// demand saturates at capacity, so proportional scaling cannot climb
+  /// out of an overload).
+  double up_threshold = 0.85;
+  /// Ondemand down-rate limit: at most this many curve grid steps down
+  /// per epoch (fast up, gradual down — one cold epoch must not drop the
+  /// fleet to the bottom of the grid).
+  int down_steps = 2;
+  /// NTC boost SLO on the measured epoch p99, in *simulated* time (use
+  /// qos::sim_qos_limit to anchor an application QoS limit here).
+  /// Required (> 0) for kNtcBoost, ignored by the other kinds.
+  Second qos_p99_limit{0.0};
+  /// Boost engages when epoch p99 > boost_fraction * limit (the margin
+  /// must *lead* the violation: the tail keeps climbing for the rest of
+  /// the epoch that trips the trigger) and releases below
+  /// release_fraction * limit.
+  double boost_fraction = 0.6;
+  double release_fraction = 0.3;
+  /// Saturation is the *leading* boost trigger: an epoch whose measured
+  /// utilization reaches boost_utilization engages the boost before the
+  /// tail has formed (p99 is a lagging indicator — by the time it
+  /// crosses the limit, a backlog of damaged requests already exists).
+  /// Release additionally requires utilization below
+  /// release_utilization, so the boost is held through a sustained
+  /// crest.
+  double boost_utilization = 0.95;
+  double release_utilization = 0.70;
+  /// Provisioning floor for the NTC pin: the pinned point is the most
+  /// server-efficient grid frequency whose throughput is at least this
+  /// fraction of the curve's peak. A fleet parked below its sustained
+  /// base load would live on the boost, which costs more than it saves.
+  double ntc_min_capacity = 0.85;
+  /// Core switching-activity factor for the PowerManager's power model.
+  double core_activity = 0.5;
+
+  void validate() const;
+};
+
+/// Nominal chip-scale UIPS curve on the paper's 0.2-2.0 GHz axis, scaled
+/// from the same per-core UIPC the scenario sizing uses with a mildly
+/// sub-linear knee (memory-bound high end). For sizing and energy
+/// accounting when no measured curve is supplied; the figure drivers feed
+/// measured sweeps instead.
+[[nodiscard]] pm::UipsCurve default_uips_curve();
+
+/// The PowerManager a governed fleet charges energy through: the paper's
+/// FD-SOI platform with the governor's curve and activity factor.
+[[nodiscard]] pm::PowerManager make_power_manager(const GovernorConfig& config);
+
+/// Epoch-based feedback controller over the running fleet.
+class FleetGovernor {
+ public:
+  virtual ~FleetGovernor() = default;
+
+  [[nodiscard]] virtual GovernorKind kind() const = 0;
+
+  /// Frequency the fleet should start at (before any observation).
+  [[nodiscard]] virtual Hertz initial_frequency() const = 0;
+
+  /// Frequency for the next epoch given the last epoch's measurement.
+  [[nodiscard]] virtual Hertz decide(const EpochObservation& obs) = 0;
+
+  /// Wall-clock cost of a frequency change, charged as a service stall.
+  [[nodiscard]] virtual Second transition_time(Hertz from, Hertz to) const = 0;
+
+  /// Duty-cycle semantics for energy accounting: true when the governor
+  /// drops idle cores into RBB sleep (energy_for_duty with measured
+  /// duty), false when the platform stays active the whole epoch.
+  [[nodiscard]] virtual bool sleeps_when_idle() const = 0;
+
+  /// NTC boost state (false for the other governors).
+  [[nodiscard]] virtual bool boosted() const { return false; }
+
+  /// Energy of one server over `duration` at frequency `f` with the
+  /// given duty cycle. The default charges the platform's DVFS power;
+  /// a governor in a boosted device state (FBB overdrive at the nominal
+  /// top supply) overrides this with the biased device's power model.
+  [[nodiscard]] virtual Joule epoch_energy(const pm::PowerManager& manager, Hertz f,
+                                           double duty, Second duration) const {
+    return manager.energy_for_duty(f, duty, duration);
+  }
+};
+
+/// Build the configured governor over a PowerManager (which must outlive
+/// the governor; ClusterFleet owns both).
+[[nodiscard]] std::unique_ptr<FleetGovernor> make_governor(const GovernorConfig& config,
+                                                           const pm::PowerManager& manager);
+
+}  // namespace ntserv::ctrl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -18,6 +19,12 @@ const char* to_string(BalancePolicy p) {
   return "unknown";
 }
 
+ctrl::BudgetConfig FleetConfig::resolved_budget() const {
+  ctrl::BudgetConfig b = budget;
+  if (b.mean == 0) b.mean = user_instructions_per_request;
+  return b;
+}
+
 void FleetConfig::validate() const {
   profile.validate();
   arrival.validate();
@@ -28,12 +35,22 @@ void FleetConfig::validate() const {
   NTSERV_EXPECTS(requests > 0, "need at least one measured request");
   NTSERV_EXPECTS(quantum > 0, "quantum must be positive");
   NTSERV_EXPECTS(pack_depth_per_core > 0.0, "pack depth must be positive");
+  resolved_budget().validate();
+  admission.validate();
+  governor.validate();
 }
 
 ClusterFleet::ClusterFleet(FleetConfig config)
     : config_(std::move(config)),
-      arrivals_(config_.arrival, derive_seed(config_.seed, 0xA441ull)) {
+      arrivals_(config_.arrival, derive_seed(config_.seed, 0xA441ull)),
+      budgets_(config_.resolved_budget(), derive_seed(config_.seed, 0xB0D6ull)),
+      admission_(config_.admission) {
   config_.validate();
+  if (config_.governor.kind != ctrl::GovernorKind::kNone) {
+    if (config_.governor.curve.empty()) config_.governor.curve = ctrl::default_uips_curve();
+    manager_ = std::make_unique<pm::PowerManager>(ctrl::make_power_manager(config_.governor));
+    governor_ = ctrl::make_governor(config_.governor, *manager_);
+  }
   servers_.reserve(static_cast<std::size_t>(config_.servers));
   for (int s = 0; s < config_.servers; ++s) {
     sim::ClusterConfig cc = config_.cluster;
@@ -93,7 +110,7 @@ int ClusterFleet::pick_server() {
   return 0;
 }
 
-void ClusterFleet::start_services(Server& server, double now) {
+void ClusterFleet::start_services(Server& server, double now_s) {
   for (std::size_t c = 0; c < server.slots.size(); ++c) {
     if (server.queue.empty()) return;
     CoreSlot& slot = server.slots[c];
@@ -101,10 +118,9 @@ void ClusterFleet::start_services(Server& server, double now) {
     slot.request = server.queue.front();
     server.queue.pop_front();
     slot.request.core = static_cast<int>(c);
-    slot.request.start_cycle = now;
+    slot.request.start_s = now_s;
     slot.target_user_committed =
-        server.cluster->user_committed_on(static_cast<int>(c)) +
-        config_.user_instructions_per_request;
+        server.cluster->user_committed_on(static_cast<int>(c)) + slot.request.budget;
     slot.busy = true;
     ++server.busy_cores;
   }
@@ -117,51 +133,231 @@ bool ClusterFleet::any_core_busy() const {
   return false;
 }
 
+void ClusterFleet::set_frequency(Hertz f) {
+  for (auto& server : servers_) server.cluster->set_core_clock(f);
+}
+
 FleetResult ClusterFleet::run() {
-  const double f = config_.frequency.value();
+  const bool governed = governor_ != nullptr;
+  const double base_f = config_.frequency.value();
   const std::uint64_t total = config_.requests + config_.warmup_requests;
+  const double max_s = static_cast<double>(config_.max_cycles) / base_f;
+  const Cycle q = config_.quantum;
+  const int total_cores = config_.servers * cores_per_server();
+
+  Hertz f_cur = config_.frequency;
+  if (governed) {
+    f_cur = governor_->initial_frequency();
+    set_frequency(f_cur);
+  }
 
   StreamingPercentiles latency;
   RunningStats latency_mean, wait_mean;
-  Cycle now = 0;
-  std::uint64_t admitted = 0;
-  std::uint64_t completed_total = 0;
-  std::uint64_t completed_measured = 0;
+  double now_s = 0.0;
+  std::uint64_t offered = 0, admitted = 0, retry_count = 0, shed = 0;
+  std::uint64_t disposed = 0;  ///< completions + permanently shed
+  std::uint64_t completed_total = 0, completed_measured = 0;
   bool truncated = false;
-  double next_arrival_cycle = arrivals_.next().value() * f;
-  double last_arrival_cycle = 0.0;
+  double next_arrival_s = arrivals_.next().value();
+  double last_arrival_s = 0.0;
 
-  while (completed_total < total) {
-    if (now >= config_.max_cycles) {
+  // Epoch (closed-loop) state. The epoch is a *wall-time* control
+  // interval sized at the base frequency: a governor that slowed the
+  // clock must not also slow its own reaction time.
+  const double epoch_len_s =
+      static_cast<double>(config_.governor.epoch_quanta) *
+      static_cast<double>(q) / base_f;
+  double epoch_start_s = 0.0;
+  double epoch_busy_core_seconds = 0.0;
+  std::vector<double> epoch_latencies;
+  std::uint64_t epoch_index = 0;
+  bool epoch_began_with_transition = false;
+  double pending_transition_s = 0.0;
+  double energy_j = 0.0;
+  double freq_seconds = 0.0;     ///< integral of f over governed time
+  double governed_seconds = 0.0;
+  Second total_transition{0.0};
+  int transitions = 0, transition_epochs = 0, violations = 0;
+  std::vector<ctrl::EpochRecord> epoch_records;
+
+  auto measure_completion = [&](const Request& req) {
+    ++completed_total;
+    ++disposed;
+    if (req.id >= config_.warmup_requests) {
+      ++completed_measured;
+      latency.add(req.latency_s());
+      latency_mean.add(req.latency_s());
+      wait_mean.add(req.wait_s());
+    }
+    if (governed) epoch_latencies.push_back(req.latency_s());
+  };
+
+  // One dispatch attempt at event time `event_s` (arrival or back-off
+  // expiry): admit into the picked server's queue, or back the client
+  // off, or shed once the retry budget is spent.
+  auto dispatch = [&](Request req, double event_s) {
+    req.server = pick_server();
+    if (admission_.admit(outstanding(req.server), cores_per_server())) {
+      servers_[static_cast<std::size_t>(req.server)].queue.push_back(req);
+      ++admitted;
+      return;
+    }
+    if (admission_.may_retry(req.attempts)) {
+      ++retry_count;
+      const double due = event_s + admission_.retry_delay(req.attempts).value();
+      ++req.attempts;
+      retries_.push(RetryEntry{due, req});
+      return;
+    }
+    ++shed;
+    ++disposed;
+  };
+
+  // Close the running epoch: record it, charge its energy, and (unless
+  // this is the final partial epoch) ask the governor for the next
+  // frequency, charging the transition as a service stall.
+  auto close_epoch = [&](bool final_partial) {
+    const double duration = now_s - epoch_start_s;
+    // A zero-length final epoch still gets a record when it carries a
+    // pending transition stall, so stalls always tile into the span.
+    if (duration <= 0.0 && pending_transition_s <= 0.0) return;
+
+    ctrl::EpochRecord rec;
+    rec.epoch = epoch_index;
+    rec.duration = Second{duration};
+    rec.utilization = duration > 0.0
+                          ? epoch_busy_core_seconds /
+                                (duration * static_cast<double>(total_cores))
+                          : 0.0;
+    rec.transition = epoch_began_with_transition;
+    rec.transition_time = Second{pending_transition_s};
+    rec.boosted = governor_->boosted();
+
+    double p99 = 0.0;
+    if (!epoch_latencies.empty()) {
+      std::sort(epoch_latencies.begin(), epoch_latencies.end());
+      auto rank = static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(epoch_latencies.size())));
+      rank = std::max<std::size_t>(rank, 1);
+      p99 = epoch_latencies[std::min(rank, epoch_latencies.size()) - 1];
+    }
+    rec.p99 = Second{p99};
+
+    const bool sleeps = governor_->sleeps_when_idle();
+    double duty_sum = 0.0;
+    double epoch_energy = 0.0;
+    for (auto& server : servers_) {
+      const double duty =
+          sleeps && duration > 0.0
+              ? std::min(1.0, server.epoch_active_seconds / duration)
+              : (duration > 0.0 ? 1.0 : 0.0);
+      duty_sum += duty;
+      epoch_energy +=
+          governor_->epoch_energy(*manager_, f_cur, duty, Second{duration}).value();
+      server.epoch_active_seconds = 0.0;
+    }
+    energy_j += epoch_energy;
+
+    rec.decision.frequency = f_cur;
+    rec.decision.duty = duty_sum / static_cast<double>(config_.servers);
+    rec.decision.sleeps = sleeps && rec.decision.duty < 1.0;
+    rec.decision.avg_power =
+        duration > 0.0 ? Watt{epoch_energy / duration} : Watt{0.0};
+    const double limit = config_.governor.qos_p99_limit.value();
+    rec.violation = limit > 0.0 && p99 > limit && !rec.transition;
+    rec.decision.met_demand = !rec.violation;
+    if (rec.violation) ++violations;
+    if (rec.transition) ++transition_epochs;
+
+    freq_seconds += f_cur.value() * duration;
+    governed_seconds += duration;
+
+    epoch_began_with_transition = false;
+    pending_transition_s = 0.0;
+    if (!final_partial) {
+      ctrl::EpochObservation obs;
+      obs.epoch = epoch_index;
+      obs.frequency = f_cur;
+      obs.utilization = rec.utilization;
+      obs.completions = epoch_latencies.size();
+      obs.p99 = Second{p99};
+      const Hertz f_next = governor_->decide(obs);
+      if (f_next != f_cur) {
+        const Second t_trans = governor_->transition_time(f_cur, f_next);
+        // The switch stalls service: time passes, queues build, and the
+        // ramp itself burns active power at the target point.
+        now_s += t_trans.value();
+        energy_j += governor_->epoch_energy(*manager_, f_next, 1.0, t_trans).value() *
+                    static_cast<double>(config_.servers);
+        total_transition += t_trans;
+        pending_transition_s = t_trans.value();
+        set_frequency(f_next);
+        f_cur = f_next;
+        ++transitions;
+        epoch_began_with_transition = true;
+      }
+    }
+
+    epoch_records.push_back(std::move(rec));
+    ++epoch_index;
+    epoch_latencies.clear();
+    epoch_busy_core_seconds = 0.0;
+    epoch_start_s = now_s;
+  };
+
+  while (disposed < total) {
+    if (now_s >= max_s) {
       truncated = true;
       break;
     }
+    if (governed && now_s >= epoch_start_s + epoch_len_s) close_epoch(false);
 
-    // Admit everything that has arrived by `now` and dispatch it.
-    while (admitted < total && next_arrival_cycle <= static_cast<double>(now)) {
-      Request r;
-      r.id = admitted;
-      r.arrival_cycle = next_arrival_cycle;
-      r.server = pick_server();
-      servers_[static_cast<std::size_t>(r.server)].queue.push_back(r);
-      last_arrival_cycle = next_arrival_cycle;
-      ++admitted;
-      if (admitted < total) next_arrival_cycle = arrivals_.next().value() * f;
+    // Admit everything due by `now_s`: merge the arrival stream and the
+    // back-off heap in event-time order (ties go to the fresh arrival, so
+    // ids stay in admission order).
+    for (;;) {
+      const bool arrival_due = offered < total && next_arrival_s <= now_s;
+      const bool retry_due = !retries_.empty() && retries_.top().due_s <= now_s;
+      if (!arrival_due && !retry_due) break;
+      if (arrival_due && (!retry_due || next_arrival_s <= retries_.top().due_s)) {
+        Request req;
+        req.id = offered;
+        req.arrival_s = next_arrival_s;
+        req.budget = budgets_.sample(req.id);
+        last_arrival_s = next_arrival_s;
+        ++offered;
+        if (offered < total) next_arrival_s = arrivals_.next().value();
+        dispatch(req, req.arrival_s);
+      } else {
+        const RetryEntry entry = retries_.top();
+        retries_.pop();
+        dispatch(entry.request, entry.due_s);
+      }
     }
 
-    for (auto& server : servers_) start_services(server, static_cast<double>(now));
+    for (auto& server : servers_) start_services(server, now_s);
 
     if (!any_core_busy()) {
       // Whole fleet idle: every server would sleep, so jump straight to
-      // the next arrival (the fleet-level analogue of event skipping; the
-      // skipped span is credited to sleep in the energy accounting).
-      NTSERV_EXPECTS(admitted < total, "idle fleet with requests unaccounted for");
-      const auto target = static_cast<Cycle>(std::ceil(next_arrival_cycle));
-      now = std::min(std::max(now + 1, target), config_.max_cycles);
+      // the next event — arrival or back-off expiry — on the cycle grid
+      // of the current frequency (the fleet-level analogue of event
+      // skipping; the skipped span is credited to sleep in the energy
+      // accounting). Governed runs additionally stop at the epoch
+      // boundary so the governor observes every epoch, idle or not.
+      double next_event = std::numeric_limits<double>::infinity();
+      if (offered < total) next_event = next_arrival_s;
+      if (!retries_.empty()) next_event = std::min(next_event, retries_.top().due_s);
+      NTSERV_EXPECTS(std::isfinite(next_event),
+                     "idle fleet with requests unaccounted for");
+      const double fv = f_cur.value();
+      double target = std::max(now_s + 1.0 / fv,
+                               std::ceil(next_event * fv) / fv);
+      if (governed) target = std::min(target, epoch_start_s + epoch_len_s);
+      now_s = std::min(target, max_s);
       continue;
     }
 
-    const Cycle q = config_.quantum;
+    const double dt = static_cast<double>(q) / f_cur.value();
     for (auto& server : servers_) {
       if (server.busy_cores == 0) continue;  // idle server stays asleep
       for (auto& slot : server.slots) {
@@ -171,47 +367,65 @@ FleetResult ClusterFleet::run() {
         }
       }
       server.cluster->run(q);
-      server.active_cycles += q;
-      server.busy_core_cycles += static_cast<std::uint64_t>(server.busy_cores) * q;
+      server.active_seconds += dt;
+      server.epoch_active_seconds += dt;
+      const double busy_dt = static_cast<double>(server.busy_cores) * dt;
+      server.busy_core_seconds += busy_dt;
+      epoch_busy_core_seconds += busy_dt;
 
       for (auto& slot : server.slots) {
-        if (!slot.busy) continue;
-        const std::uint64_t committed =
-            server.cluster->user_committed_on(slot.request.core);
-        if (committed < slot.target_user_committed) continue;
-        // Interpolate the completion inside the quantum from the commit
-        // overshoot, so latency error is O(1) instructions, not O(quantum).
-        const std::uint64_t progressed = committed - slot.committed_at_quantum_start;
-        const std::uint64_t needed =
-            slot.target_user_committed - slot.committed_at_quantum_start;
-        const double frac =
-            progressed > 0
-                ? static_cast<double>(needed) / static_cast<double>(progressed)
-                : 1.0;
-        slot.request.completion_cycle =
-            static_cast<double>(now) + frac * static_cast<double>(q);
-        ++completed_total;
-        if (slot.request.id >= config_.warmup_requests) {
-          ++completed_measured;
-          const double latency_s = slot.request.latency_cycles() / f;
-          latency.add(latency_s);
-          latency_mean.add(latency_s);
-          wait_mean.add(slot.request.wait_cycles() / f);
+        while (slot.busy) {
+          const std::uint64_t committed =
+              server.cluster->user_committed_on(slot.request.core);
+          if (committed < slot.target_user_committed) break;
+          // Interpolate the completion inside the quantum from the commit
+          // overshoot, so latency error is O(1) instructions, not O(quantum).
+          const std::uint64_t progressed =
+              committed - slot.committed_at_quantum_start;
+          const std::uint64_t needed =
+              slot.target_user_committed - slot.committed_at_quantum_start;
+          const double frac =
+              progressed > 0
+                  ? static_cast<double>(needed) / static_cast<double>(progressed)
+                  : 1.0;
+          slot.request.completion_s = now_s + frac * dt;
+          measure_completion(slot.request);
+          if (!server.queue.empty()) {
+            // Back-to-back service: the next queued request starts at the
+            // interpolated completion instant, and the instructions the
+            // core has already committed past the old target count toward
+            // it — no quantum of capacity is lost between requests.
+            Request next = server.queue.front();
+            server.queue.pop_front();
+            next.core = slot.request.core;
+            next.start_s = slot.request.completion_s;
+            slot.target_user_committed += next.budget;
+            slot.request = next;
+            continue;  // the overshoot may already cover the next budget
+          }
+          slot.busy = false;
+          --server.busy_cores;
+          break;
         }
-        slot.busy = false;
-        --server.busy_cores;
       }
     }
-    now += q;
+    now_s += dt;
   }
+
+  if (governed) close_epoch(true);
 
   FleetResult r;
   r.workload = config_.profile.name;
   r.frequency = config_.frequency;
   r.completed = completed_measured;
+  r.offered = offered;
   r.admitted = admitted;
+  r.retries = retry_count;
+  r.shed = shed;
+  r.shed_rate = offered > 0 ? static_cast<double>(shed) / static_cast<double>(offered) : 0.0;
   r.truncated = truncated;
-  r.span_cycles = now;
+  r.span_seconds = Second{now_s};
+  r.span_cycles = static_cast<Cycle>(std::llround(now_s * base_f));
   if (latency.count() > 0) {
     r.mean_latency = Second{latency_mean.mean()};
     r.p50 = Second{latency.p50()};
@@ -219,34 +433,38 @@ FleetResult ClusterFleet::run() {
     r.p99 = Second{latency.p99()};
     r.mean_wait = Second{wait_mean.mean()};
   }
-  if (last_arrival_cycle > 0.0) {
-    r.offered_rate = static_cast<double>(admitted) * f / last_arrival_cycle;
+  if (last_arrival_s > 0.0) {
+    r.offered_rate = static_cast<double>(offered) / last_arrival_s;
   }
-  const double span_s = static_cast<double>(now) / f;
-  if (span_s > 0.0) {
-    r.throughput = static_cast<double>(completed_total) / span_s;
+  if (now_s > 0.0) {
+    r.throughput = static_cast<double>(completed_total) / now_s;
   }
-  std::uint64_t busy_core_cycles = 0;
+  double busy_core_seconds = 0.0;
   r.server_active_fraction.reserve(servers_.size());
   for (const auto& server : servers_) {
-    busy_core_cycles += server.busy_core_cycles;
-    r.server_active_fraction.push_back(
-        now > 0 ? static_cast<double>(server.active_cycles) / static_cast<double>(now)
-                : 0.0);
+    busy_core_seconds += server.busy_core_seconds;
+    r.server_active_fraction.push_back(now_s > 0.0 ? server.active_seconds / now_s : 0.0);
   }
-  if (now > 0) {
-    r.utilization = static_cast<double>(busy_core_cycles) /
-                    (static_cast<double>(now) *
-                     static_cast<double>(servers_.size()) *
-                     static_cast<double>(cores_per_server()));
+  if (now_s > 0.0) {
+    r.utilization = busy_core_seconds / (now_s * static_cast<double>(total_cores));
   }
+  r.energy = Joule{energy_j};
+  r.avg_frequency_ghz = governed_seconds > 0.0 ? freq_seconds / governed_seconds / 1e9 : 0.0;
+  r.transitions = transitions;
+  r.transition_time_total = total_transition;
+  r.transition_epochs = transition_epochs;
+  r.qos_violation_epochs = violations;
+  r.epochs = std::move(epoch_records);
   return r;
 }
 
 Joule fleet_energy(const FleetResult& result, const pm::PowerManager& manager,
                    Hertz frequency) {
   NTSERV_EXPECTS(frequency.value() > 0.0, "frequency must be positive");
-  const Second span{static_cast<double>(result.span_cycles) / frequency.value()};
+  const Second span = result.span_seconds.value() > 0.0
+                          ? result.span_seconds
+                          : Second{static_cast<double>(result.span_cycles) /
+                                   frequency.value()};
   Joule total{0.0};
   for (double duty : result.server_active_fraction) {
     total += manager.energy_for_duty(frequency, duty, span);

@@ -4,29 +4,42 @@
 // UIPS ratio; nothing ever queues. This module instead *runs* requests:
 // open-loop arrivals (dc/arrival.hpp) are dispatched by a load-balancing
 // policy onto the cores of N independent sim::Cluster instances, and each
-// request's service is the time its core takes to commit a fixed number of
-// user instructions — the paper's own invariant (Sec. V-A: user
-// instructions per request are constant across contention points). Tail
-// latency is then a *measurement* over completed requests, so queueing,
-// burstiness and load-balancing effects show up in the p99 exactly as they
-// would on hardware, and the result can be cross-checked against the
-// analytic path on a contention-free scenario.
+// request's service is the time its core takes to commit its budget of
+// user instructions (paper Sec. V-A: constant by default; src/ctrl budget
+// distributions for heterogeneous populations). Tail latency is then a
+// *measurement* over completed requests, so queueing, burstiness and
+// load-balancing effects show up in the p99 exactly as they would on
+// hardware, and the result can be cross-checked against the analytic path
+// on a contention-free scenario.
+//
+// On top of the open-loop dispatch, the runtime-control layer (src/ctrl)
+// closes the loop *inside* the run: an epoch-based governor observes
+// measured utilization and measured epoch p99 and retunes the fleet's
+// DVFS point (charging physical transition costs), and an admission
+// controller sheds or backs off clients when queues saturate. The master
+// clock is therefore wall seconds — core cycles stop being comparable
+// across epochs once the frequency moves.
 //
 // The fleet simulation is deliberately single-threaded per scenario —
 // dispatch decisions depend on completion order, so intra-fleet parallelism
 // would be order-dependent. Parallel fan-out happens one level up
-// (dc/scenario.hpp, dse::sweep_measured_qos) across independent scenarios
-// and frequency points, which keeps every result bit-identical for any
-// NTSERV_THREADS.
+// (dc/scenario.hpp, dse::sweep_measured_qos, dse::sweep_governors) across
+// independent scenarios, governors and frequency points, which keeps every
+// result bit-identical for any NTSERV_THREADS.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/units.hpp"
+#include "ctrl/admission.hpp"
+#include "ctrl/budget.hpp"
+#include "ctrl/governor.hpp"
 #include "dc/arrival.hpp"
 #include "dc/latency_stats.hpp"
 #include "pm/power_manager.hpp"
@@ -35,18 +48,20 @@
 
 namespace ntserv::dc {
 
-/// Per-request lifecycle record, in fleet-global core cycles (fractional:
-/// completions are interpolated inside the advance quantum).
+/// Per-request lifecycle record, in wall seconds (fractional: completions
+/// are interpolated inside the advance quantum).
 struct Request {
   std::uint64_t id = 0;
-  double arrival_cycle = 0.0;
-  double start_cycle = 0.0;       ///< service began on a core
-  double completion_cycle = 0.0;
+  double arrival_s = 0.0;     ///< first offered (back-off does not reset it)
+  double start_s = 0.0;       ///< service began on a core
+  double completion_s = 0.0;
+  std::uint64_t budget = 0;   ///< user-instruction cost (ctrl::BudgetSampler)
+  int attempts = 0;           ///< admission rejections suffered so far
   int server = -1;
   int core = -1;
 
-  [[nodiscard]] double latency_cycles() const { return completion_cycle - arrival_cycle; }
-  [[nodiscard]] double wait_cycles() const { return start_cycle - arrival_cycle; }
+  [[nodiscard]] double latency_s() const { return completion_s - arrival_s; }
+  [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
 };
 
 enum class BalancePolicy {
@@ -62,11 +77,22 @@ struct FleetConfig {
   workload::WorkloadProfile profile;
   Hertz frequency{2e9};
   int servers = 2;
-  /// The constant user-instruction cost of one request (paper Sec. V-A).
+  /// The constant user-instruction cost of one request (paper Sec. V-A);
+  /// the mean when `budget` selects a distribution.
   std::uint64_t user_instructions_per_request = 8'000;
+  /// Per-request instruction-budget distribution. budget.mean == 0
+  /// inherits user_instructions_per_request as the mean.
+  ctrl::BudgetConfig budget;
+  /// Saturation control: queue-depth admission with client back-off.
+  ctrl::AdmissionConfig admission;
+  /// Closed-loop DVFS control; kind == kNone runs open loop at
+  /// `frequency` with no epoch machinery.
+  ctrl::GovernorConfig governor;
   BalancePolicy policy = BalancePolicy::kLeastLoaded;
   ArrivalConfig arrival;
-  /// Measured completions (after warmup_requests unmeasured ones).
+  /// Measured completions (after warmup_requests unmeasured ones) when
+  /// nothing is shed; with admission control, offered requests beyond the
+  /// warmup ids that get shed reduce the measured count.
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
   std::uint64_t seed = 1;
@@ -80,21 +106,29 @@ struct FleetConfig {
   /// makes the measured-vs-analytic cross-check meaningful).
   std::uint64_t warm_instructions = 600'000;
   Cycle warm_max_cycles = 6'000'000;
-  /// Safety stop for saturated scenarios (arrival rate > service rate).
+  /// Safety stop for saturated scenarios (arrival rate > service rate),
+  /// in cycles of the configured base `frequency`.
   Cycle max_cycles = 400'000'000;
   /// Power-aware packing bound: a server accepts new work while its
   /// outstanding count is below depth_per_core * cores.
   double pack_depth_per_core = 2.0;
 
   void validate() const;
+
+  /// Budget config with the inherit sentinel resolved.
+  [[nodiscard]] ctrl::BudgetConfig resolved_budget() const;
 };
 
 /// Aggregate outcome of one fleet run.
 struct FleetResult {
   std::string workload;
-  Hertz frequency;
+  Hertz frequency;                    ///< configured base frequency
   std::uint64_t completed = 0;        ///< measured completions
-  std::uint64_t admitted = 0;         ///< total requests admitted
+  std::uint64_t offered = 0;          ///< unique requests offered (excl. retries)
+  std::uint64_t admitted = 0;         ///< dispatch attempts accepted into a queue
+  std::uint64_t retries = 0;          ///< rejected attempts that backed off
+  std::uint64_t shed = 0;             ///< requests dropped after the retry budget
+  double shed_rate = 0.0;             ///< shed / offered
   bool truncated = false;             ///< hit max_cycles before completing
   Second mean_latency{0.0};
   Second p50{0.0};
@@ -107,7 +141,17 @@ struct FleetResult {
   /// Per-server fraction of the span with at least one busy core (the
   /// power-model duty cycle: idle servers sit in RBB sleep).
   std::vector<double> server_active_fraction;
-  Cycle span_cycles = 0;
+  Cycle span_cycles = 0;              ///< span in base-frequency cycle equivalents
+  Second span_seconds{0.0};
+
+  // ---- Closed-loop outcome (zero/empty when governor.kind == kNone) ----
+  Joule energy{0.0};                  ///< governor-accounted fleet energy
+  double avg_frequency_ghz = 0.0;     ///< time-weighted over epochs
+  int transitions = 0;                ///< frequency changes charged
+  Second transition_time_total{0.0};  ///< service stalled in DVFS/bias swings
+  int transition_epochs = 0;          ///< epochs beginning with a change
+  int qos_violation_epochs = 0;       ///< p99 over limit outside transition epochs
+  std::vector<ctrl::EpochRecord> epochs;
 };
 
 /// N independent sim::Cluster instances behind one dispatcher.
@@ -125,9 +169,10 @@ class ClusterFleet {
   /// Queued + in-service requests on server `s`.
   [[nodiscard]] int outstanding(int s) const;
 
-  /// Drive arrivals until `requests` measured completions (or max_cycles).
-  /// Single-threaded and deterministic: identical results for any caller
-  /// threading, because all randomness is seed-derived at construction.
+  /// Drive arrivals until every offered request is completed or shed (or
+  /// max_cycles elapse). Single-threaded and deterministic: identical
+  /// results for any caller threading, because all randomness is
+  /// seed-derived at construction.
   [[nodiscard]] FleetResult run();
 
  private:
@@ -142,25 +187,45 @@ class ClusterFleet {
     std::unique_ptr<sim::Cluster> cluster;
     std::deque<Request> queue;
     std::vector<CoreSlot> slots;
-    std::uint64_t busy_core_cycles = 0;
-    std::uint64_t active_cycles = 0;  ///< cycles with >= 1 busy core
+    double busy_core_seconds = 0.0;
+    double active_seconds = 0.0;        ///< time with >= 1 busy core
+    double epoch_active_seconds = 0.0;  ///< same, within the current epoch
     int busy_cores = 0;
   };
 
+  /// A client waiting out its back-off before the next dispatch attempt.
+  struct RetryEntry {
+    double due_s;
+    Request request;
+    /// Min-heap on (due time, id): id breaks ties deterministically.
+    [[nodiscard]] bool operator>(const RetryEntry& o) const {
+      return due_s != o.due_s ? due_s > o.due_s : request.id > o.request.id;
+    }
+  };
+
   [[nodiscard]] int pick_server();
-  void start_services(Server& server, double now);
+  void start_services(Server& server, double now_s);
   [[nodiscard]] bool any_core_busy() const;
+  void set_frequency(Hertz f);
 
   FleetConfig config_;
   ArrivalProcess arrivals_;
+  ctrl::BudgetSampler budgets_;
+  ctrl::AdmissionController admission_;
+  /// Present only when governed (kind != kNone); the governor holds a
+  /// reference into the manager, so declaration order matters.
+  std::unique_ptr<pm::PowerManager> manager_;
+  std::unique_ptr<ctrl::FleetGovernor> governor_;
   std::vector<Server> servers_;
+  std::priority_queue<RetryEntry, std::vector<RetryEntry>, std::greater<>> retries_;
   int round_robin_next_ = 0;
 };
 
 /// Server energy over a fleet run's span: each server runs at the
 /// pm::PowerManager's active power for its active fraction and sits in
 /// RBB sleep for the remainder (the paper's energy-proportionality story
-/// applied to measured duty cycles).
+/// applied to measured duty cycles). For governed runs prefer
+/// FleetResult::energy, which charges each epoch at its own frequency.
 [[nodiscard]] Joule fleet_energy(const FleetResult& result, const pm::PowerManager& manager,
                                  Hertz frequency);
 

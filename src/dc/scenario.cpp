@@ -29,6 +29,9 @@ FleetConfig Scenario::fleet_config(Hertz f) const {
   cfg.frequency = f;
   cfg.servers = servers;
   cfg.user_instructions_per_request = user_instructions_per_request;
+  cfg.budget = budget;
+  cfg.admission = admission;
+  cfg.governor = governor;
   cfg.policy = policy;
   cfg.arrival = arrival;
   cfg.requests = requests;
@@ -154,6 +157,92 @@ std::vector<Scenario> Scenario::registry() {
     s.policy = BalancePolicy::kRoundRobin;
     s.servers = 2;
     s.seed = 18;
+    all.push_back(s);
+  }
+
+  // ---- Closed-loop runtime control (src/ctrl) combinations ----
+  {
+    // The paper's thesis as a feedback loop: pin the efficiency optimum,
+    // FBB-boost when the measured diurnal peak pushes the epoch p99
+    // toward the SLO. The limit is sized ~6x the uncontended 2 GHz
+    // service time so off-peak epochs at f_opt sit well inside it.
+    Scenario s;
+    s.name = "webserving-diurnal-ntcboost";
+    s.description = "Web Serving diurnal, NTC-boost governor + admission back-off";
+    s.workload = "Web Serving";
+    s.arrival.kind = ArrivalKind::kDiurnal;
+    // Crest briefly at ~90% of nominal capacity: the pin carries the day,
+    // the FBB boost covers the crest, and the trough sleeps.
+    s.arrival.rate = rate_for_load(0.9, 2, cores, 8'000);
+    s.arrival.diurnal_trough = 0.10;
+    s.arrival.diurnal_period = Second{2e-3};
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 2;
+    s.governor.kind = ctrl::GovernorKind::kNtcBoost;
+    s.governor.epoch_quanta = 2048;  // ~70 us epochs: ~25 completions each
+    s.governor.qos_p99_limit = microseconds(60.0);
+    s.admission.enabled = true;
+    s.admission.max_outstanding_per_core = 6.0;
+    s.requests = 600;
+    s.seed = 19;
+    all.push_back(s);
+  }
+  {
+    // Reactive ondemand under request storms: the governor chases the
+    // MMPP bursts with DVFS, paying the voltage-ramp stall on each step.
+    Scenario s;
+    s.name = "dataserving-mmpp-ondemand";
+    s.description = "Data Serving MMPP bursts, ondemand DVFS governor";
+    s.workload = "Data Serving";
+    s.arrival.kind = ArrivalKind::kMmpp;
+    s.arrival.rate = rate_for_load(0.30, 2, cores, 8'000);
+    s.arrival.burst_rate_multiplier = 4.0;
+    s.arrival.burst_fraction = 0.1;
+    s.arrival.burst_dwell = Second{2e-4};
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 2;
+    s.governor.kind = ctrl::GovernorKind::kOndemandDvfs;
+    s.seed = 20;
+    all.push_back(s);
+  }
+  {
+    // Offered load ~2.5x service capacity: without admission control this
+    // run truncates at the cycle cap; with it, clients back off and the
+    // shed rate becomes the scenario's headline metric.
+    Scenario s;
+    s.name = "websearch-saturation-admission";
+    s.description = "Web Search at ~2.5x capacity, queue-depth admission + back-off";
+    s.workload = "Web Search";
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = rate_for_load(2.5, 2, cores, 8'000);
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 2;
+    s.admission.enabled = true;
+    s.admission.max_outstanding_per_core = 3.0;
+    s.admission.max_retries = 2;
+    // Short relative to the overload's duration: clients must be able to
+    // exhaust their retry budget while the fleet is still saturated,
+    // otherwise nothing is ever shed and queues do the clipping.
+    s.admission.backoff = microseconds(20.0);
+    s.requests = 300;
+    s.seed = 23;
+    all.push_back(s);
+  }
+  {
+    // Heterogeneous request costs: lognormal budgets (cv ~ 0.8) break the
+    // constant-instructions invariant, so the measured tail departs from
+    // the analytic scaling rule even without queueing.
+    Scenario s;
+    s.name = "dataserving-lognormal-budget";
+    s.description = "Data Serving, lognormal instruction budgets (sigma 0.7)";
+    s.workload = "Data Serving";
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = rate_for_load(0.30, 2, cores, 8'000);
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 2;
+    s.budget.kind = ctrl::BudgetKind::kLognormal;
+    s.budget.sigma = 0.7;
+    s.seed = 24;
     all.push_back(s);
   }
   return all;

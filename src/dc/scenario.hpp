@@ -26,6 +26,12 @@ struct Scenario {
   BalancePolicy policy = BalancePolicy::kLeastLoaded;
   int servers = 2;
   std::uint64_t user_instructions_per_request = 8'000;
+  /// Runtime-control knobs (src/ctrl): per-request budget distribution,
+  /// saturation admission control, closed-loop DVFS governor. Defaults
+  /// keep the scenario open-loop with the paper's constant budget.
+  ctrl::BudgetConfig budget;
+  ctrl::AdmissionConfig admission;
+  ctrl::GovernorConfig governor;
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
   std::uint64_t seed = 1;

@@ -150,6 +150,35 @@ MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
   return sweep;
 }
 
+const GovernorPoint& GovernorSweep::at(ctrl::GovernorKind kind) const {
+  for (const auto& p : points) {
+    if (p.governor == kind) return p;
+  }
+  throw ModelError(std::string("governor sweep has no point for ") + to_string(kind));
+}
+
+GovernorSweep sweep_governors(const dc::Scenario& scenario,
+                              const std::vector<ctrl::GovernorKind>& kinds, Hertz f) {
+  return sweep_governors(scenario, kinds, f, sim::ThreadPool::default_threads());
+}
+
+GovernorSweep sweep_governors(const dc::Scenario& scenario,
+                              const std::vector<ctrl::GovernorKind>& kinds, Hertz f,
+                              int threads) {
+  NTSERV_EXPECTS(!kinds.empty(), "governor sweep needs at least one kind");
+  GovernorSweep sweep;
+  sweep.scenario = scenario.name;
+  sweep.workload = scenario.workload;
+  sweep.points.resize(kinds.size());
+  sim::parallel_for_index(threads, kinds.size(), [&](std::size_t i) {
+    dc::Scenario s = scenario;
+    s.governor.kind = kinds[i];
+    sweep.points[i].governor = kinds[i];
+    sweep.points[i].result = dc::run_scenario(s, f);
+  });
+  return sweep;
+}
+
 ConstrainedChoice choose_operating_point(const SweepResult& sweep,
                                          const qos::QosTarget& target) {
   const double base = sweep.baseline_uips();

@@ -134,6 +134,37 @@ struct MeasuredQosSweep {
                                                   const qos::QosTarget& target,
                                                   const std::vector<Hertz>& grid);
 
+// ---- Closed-loop governor sweeps (src/ctrl) ----
+
+/// One governor's closed-loop outcome on a scenario.
+struct GovernorPoint {
+  ctrl::GovernorKind governor = ctrl::GovernorKind::kNone;
+  dc::FleetResult result;  ///< includes energy, epoch records, shed counters
+};
+
+/// A governor face-off on one scenario at one dispatch frequency.
+struct GovernorSweep {
+  std::string scenario;
+  std::string workload;
+  std::vector<GovernorPoint> points;
+
+  /// Point for a given governor kind; throws if the sweep did not run it.
+  [[nodiscard]] const GovernorPoint& at(ctrl::GovernorKind kind) const;
+};
+
+/// Run one scenario under each governor kind, fanning the runs out over
+/// `threads` workers (default NTSERV_THREADS). Every point is an
+/// independent fleet simulation with the scenario's own seed — the
+/// arrival stream, budgets and epoch decisions are bit-identical for any
+/// thread count. The scenario's governor config (curve, QoS limit,
+/// epoch sizing) is kept; only the kind is overridden per point.
+[[nodiscard]] GovernorSweep sweep_governors(const dc::Scenario& scenario,
+                                            const std::vector<ctrl::GovernorKind>& kinds,
+                                            Hertz f, int threads);
+[[nodiscard]] GovernorSweep sweep_governors(const dc::Scenario& scenario,
+                                            const std::vector<ctrl::GovernorKind>& kinds,
+                                            Hertz f);
+
 /// Consolidation headroom (Sec. V-C): with QoS met at `qos_floor` but the
 /// efficiency optimum at `f_opt` > floor, the spare throughput factor
 /// UIPS(f_opt)/UIPS(floor) bounds how much additional co-located load the

@@ -38,6 +38,10 @@
 
 #include "qos/qos.hpp"
 
+#include "ctrl/admission.hpp"
+#include "ctrl/budget.hpp"
+#include "ctrl/governor.hpp"
+
 #include "dc/arrival.hpp"
 #include "dc/fleet.hpp"
 #include "dc/latency_stats.hpp"

@@ -95,14 +95,24 @@ std::optional<Hertz> PowerManager::frequency_for_uips(double uips) const {
   return curve_.back().frequency;
 }
 
-Hertz PowerManager::efficiency_optimal_frequency() const {
-  Hertz best = curve_.front().frequency;
-  double best_eff = 0.0;
+Hertz PowerManager::grid_frequency_for_uips(double uips) const {
   for (const auto& s : curve_) {
+    if (s.uips >= uips) return s.frequency;
+  }
+  return curve_.back().frequency;
+}
+
+Hertz PowerManager::efficiency_optimal_frequency(double min_uips) const {
+  Hertz best = curve_.back().frequency;
+  double best_eff = 0.0;
+  bool found = false;
+  for (const auto& s : curve_) {
+    if (s.uips < min_uips) continue;
     const double eff = s.uips / active_power(s.frequency).value();
-    if (eff > best_eff) {
+    if (!found || eff > best_eff) {
       best_eff = eff;
       best = s.frequency;
+      found = true;
     }
   }
   return best;

@@ -82,6 +82,7 @@ class PowerManager {
                double core_activity = 0.5);
 
   [[nodiscard]] const UipsCurve& curve() const { return curve_; }
+  [[nodiscard]] const power::ServerPowerModel& platform() const { return platform_; }
 
   /// Peak chip throughput (UIPS at the highest curve frequency).
   [[nodiscard]] double peak_uips() const;
@@ -93,8 +94,18 @@ class PowerManager {
   /// curve cannot deliver it anywhere.
   [[nodiscard]] std::optional<Hertz> frequency_for_uips(double uips) const;
 
-  /// Frequency maximizing server-scope efficiency on the curve.
-  [[nodiscard]] Hertz efficiency_optimal_frequency() const;
+  /// Like frequency_for_uips, but snapped *up* to the curve's own grid
+  /// (a real DVFS driver exposes discrete operating points, not the
+  /// interpolated continuum) and clamped to the top point when demand
+  /// exceeds the curve. The runtime governors (src/ctrl) pick from this.
+  [[nodiscard]] Hertz grid_frequency_for_uips(double uips) const;
+
+  /// Frequency maximizing server-scope efficiency on the curve,
+  /// optionally restricted to points delivering at least `min_uips`
+  /// (the capacity-floored optimum the runtime governors pin — see
+  /// ctrl::GovernorConfig::ntc_min_capacity). Falls back to the top
+  /// point when nothing meets the floor.
+  [[nodiscard]] Hertz efficiency_optimal_frequency(double min_uips = 0.0) const;
 
   /// Average server power running continuously at f (activity-scaled).
   [[nodiscard]] Watt active_power(Hertz f) const;

@@ -57,6 +57,12 @@ double measured_normalized_latency(const QosTarget& target, Second p99_at_f,
   return measured_scaled_latency(target, p99_at_f, p99_at_baseline) / target.qos_limit;
 }
 
+Second sim_qos_limit(const QosTarget& target, Second measured_baseline_p99) {
+  NTSERV_EXPECTS(measured_baseline_p99.value() > 0.0,
+                 "baseline measurement must be positive");
+  return measured_baseline_p99 * (target.qos_limit / target.baseline_p99);
+}
+
 namespace {
 
 /// Lowest frequency where metric(f) <= bound, given metric is decreasing

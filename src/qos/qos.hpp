@@ -73,6 +73,14 @@ struct QosTarget {
 [[nodiscard]] double measured_normalized_latency(const QosTarget& target, Second p99_at_f,
                                                  Second p99_at_baseline);
 
+/// Map an application QoS limit into *simulated* time: the runtime SLO a
+/// closed-loop governor (src/ctrl) enforces on measured epoch p99. By the
+/// anchoring rule, a simulated p99 of `measured_baseline_p99` corresponds
+/// to the application's `baseline_p99`, so the limit corresponds to
+/// measured_baseline_p99 * qos_limit / baseline_p99. A measured p99 under
+/// this bound has measured_normalized_latency <= 1.
+[[nodiscard]] Second sim_qos_limit(const QosTarget& target, Second measured_baseline_p99);
+
 /// One point of a Fig. 2 series.
 struct QosPoint {
   Hertz frequency;

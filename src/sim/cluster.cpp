@@ -29,6 +29,11 @@ Cluster::Cluster(ClusterConfig config, std::vector<std::unique_ptr<cpu::UopSourc
   }
 }
 
+void Cluster::set_core_clock(Hertz f) {
+  config_.core_clock = f;
+  memory_.set_core_clock(f);
+}
+
 void Cluster::step(Cycle now) {
   memory_.tick(now);
   completion_scratch_.clear();

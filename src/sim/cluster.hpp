@@ -66,6 +66,12 @@ class Cluster {
   /// Advance `cycles` core cycles.
   void run(Cycle cycles);
 
+  /// Change the core clock between run() calls (DVFS): updates the
+  /// core/memory clock-domain ratio in place, preserving the accumulated
+  /// phase, so a governed fleet can retune frequency at epoch boundaries
+  /// without reconstructing (and re-warming) the cluster.
+  void set_core_clock(Hertz f);
+
   /// Run until the cluster has committed `instructions` more instructions
   /// (aggregate over cores) or `max_cycles` elapse — used for
   /// instruction-count-based cache warming, which is what "checkpoints
