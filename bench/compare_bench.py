@@ -6,6 +6,10 @@ the newest google-benchmark JSON archive written by bench/run_bench.sh.
 Intended as a non-gating trend report (CI runs it when at least two
 archives exist); it always exits 0 unless the files are unreadable.
 
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), the same table is also
+appended there as markdown, so the trend shows up on the workflow run
+page without digging through logs.
+
 Usage: bench/compare_bench.py [results_dir]   (default: bench/results)
 """
 
@@ -28,6 +32,40 @@ def load_benchmarks(path):
     return out
 
 
+def build_rows(old, new):
+    """Rows of (name, old_text, new_text, delta_text)."""
+    rows = []
+    for name in sorted(new):
+        t_new, unit = new[name]
+        if name not in old:
+            rows.append((name, "—", f"{t_new:.1f}{unit}", "new"))
+            continue
+        t_old, old_unit = old[name]
+        if old_unit != unit or t_old == 0.0:
+            rows.append((name, f"{t_old:.1f}{old_unit}", f"{t_new:.1f}{unit}", "n/a"))
+            continue
+        delta = (t_new - t_old) / t_old * 100.0
+        rows.append((name, f"{t_old:.1f}{unit}", f"{t_new:.1f}{unit}", f"{delta:+.1f}%"))
+    for name in sorted(set(old) - set(new)):
+        rows.append((name, "(removed)", "", ""))
+    return rows
+
+
+def write_step_summary(title, rows):
+    """Append a markdown table to $GITHUB_STEP_SUMMARY when present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = [f"### Bench trajectory: {title}", ""]
+    lines.append("| benchmark | old | new | delta |")
+    lines.append("|---|---:|---:|---:|")
+    for name, t_old, t_new, delta in rows:
+        lines.append(f"| `{name}` | {t_old} | {t_new} | {delta} |")
+    lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as f:
+        f.write("\n".join(lines))
+
+
 def main():
     results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench/results"
     archives = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
@@ -38,23 +76,16 @@ def main():
     old_path, new_path = archives[-2], archives[-1]
     old = load_benchmarks(old_path)
     new = load_benchmarks(new_path)
-    print(f"compare_bench: {os.path.basename(old_path)} -> {os.path.basename(new_path)}")
+    title = f"{os.path.basename(old_path)} -> {os.path.basename(new_path)}"
+    print(f"compare_bench: {title}")
 
-    name_w = max((len(n) for n in new), default=4)
+    rows = build_rows(old, new)
+    name_w = max((len(r[0]) for r in rows), default=4)
     print(f"{'benchmark':<{name_w}}  {'old':>12}  {'new':>12}  {'delta':>8}")
-    for name in sorted(new):
-        t_new, unit = new[name]
-        if name not in old:
-            print(f"{name:<{name_w}}  {'—':>12}  {t_new:>10.1f}{unit}  {'new':>8}")
-            continue
-        t_old, old_unit = old[name]
-        if old_unit != unit or t_old == 0.0:
-            print(f"{name:<{name_w}}  {t_old:>10.1f}{old_unit}  {t_new:>10.1f}{unit}  {'n/a':>8}")
-            continue
-        delta = (t_new - t_old) / t_old * 100.0
-        print(f"{name:<{name_w}}  {t_old:>10.1f}{unit}  {t_new:>10.1f}{unit}  {delta:>+7.1f}%")
-    for name in sorted(set(old) - set(new)):
-        print(f"{name:<{name_w}}  (removed)")
+    for name, t_old, t_new, delta in rows:
+        print(f"{name:<{name_w}}  {t_old:>12}  {t_new:>12}  {delta:>8}")
+
+    write_step_summary(title, rows)
     return 0
 
 

@@ -86,6 +86,7 @@ class FixedMaxGovernor final : public FleetGovernor {
   [[nodiscard]] GovernorKind kind() const override { return GovernorKind::kFixedMax; }
   [[nodiscard]] Hertz initial_frequency() const override { return f_max_; }
   [[nodiscard]] Hertz decide(const EpochObservation&) override { return f_max_; }
+  [[nodiscard]] Hertz peek(const EpochObservation&) const override { return f_max_; }
   [[nodiscard]] Second transition_time(Hertz, Hertz) const override { return Second{0.0}; }
   [[nodiscard]] bool sleeps_when_idle() const override { return false; }
 
@@ -107,7 +108,26 @@ class OndemandGovernor final : public FleetGovernor {
     return manager_.curve().back().frequency;
   }
 
-  [[nodiscard]] Hertz decide(const EpochObservation& obs) override {
+  [[nodiscard]] Hertz decide(const EpochObservation& obs) override { return target_for(obs); }
+
+  /// The ondemand rule is stateless over the observation, so peeking is
+  /// exactly the decision.
+  [[nodiscard]] Hertz peek(const EpochObservation& obs) const override {
+    return target_for(obs);
+  }
+
+  [[nodiscard]] Second transition_time(Hertz from, Hertz to) const override {
+    if (from == to) return Second{0.0};
+    // A DVFS step is gated by the off-chip regulator's voltage ramp
+    // between the two operating points' supplies.
+    const auto& t = manager_.platform().tech();
+    return tech::dvfs_transition_time(t.voltage_for(from), t.voltage_for(to));
+  }
+
+  [[nodiscard]] bool sleeps_when_idle() const override { return false; }
+
+ private:
+  [[nodiscard]] Hertz target_for(const EpochObservation& obs) const {
     // A saturated epoch jumps straight to the top: measured demand
     // saturates at the current capacity, so proportional scaling would
     // climb out of an overload one grid step per epoch.
@@ -128,17 +148,6 @@ class OndemandGovernor final : public FleetGovernor {
     return target;
   }
 
-  [[nodiscard]] Second transition_time(Hertz from, Hertz to) const override {
-    if (from == to) return Second{0.0};
-    // A DVFS step is gated by the off-chip regulator's voltage ramp
-    // between the two operating points' supplies.
-    const auto& t = manager_.platform().tech();
-    return tech::dvfs_transition_time(t.voltage_for(from), t.voltage_for(to));
-  }
-
-  [[nodiscard]] bool sleeps_when_idle() const override { return false; }
-
- private:
   /// Index of the curve point nearest to `f` (the grid a real DVFS
   /// driver exposes).
   [[nodiscard]] std::size_t grid_index(Hertz f) const {
@@ -172,7 +181,6 @@ class NtcBoostGovernor final : public FleetGovernor {
         f_opt_(manager.efficiency_optimal_frequency(config.ntc_min_capacity *
                                                     manager.peak_uips())),
         f_boost_(manager.curve().back().frequency),
-        limit_(config.qos_p99_limit),
         boost_at_(config.qos_p99_limit * config.boost_fraction),
         release_at_(config.qos_p99_limit * config.release_fraction),
         util_boost_(config.boost_utilization),
@@ -199,21 +207,12 @@ class NtcBoostGovernor final : public FleetGovernor {
   [[nodiscard]] Hertz initial_frequency() const override { return f_opt_; }
 
   [[nodiscard]] Hertz decide(const EpochObservation& obs) override {
-    // Two boost triggers: measured tail pressure (the SLO feedback) and
-    // measured saturation (the leading indicator — a pinned fleet that
-    // has run out of capacity will violate a lagging p99 before the p99
-    // can report it). Absent any completion, the tail contributes no
-    // signal and only utilization speaks.
-    const bool tail_signal = obs.p99.value() > 0.0;
-    const bool pressure = (tail_signal && obs.p99 > boost_at_) ||
-                          obs.utilization >= util_boost_;
-    const bool tail_calm = !tail_signal || obs.p99 < release_at_;
-    if (!boosted_ && pressure) {
-      boosted_ = true;
-    } else if (boosted_ && tail_calm && obs.utilization < util_release_) {
-      boosted_ = false;
-    }
+    boosted_ = next_boost_state(obs);
     return boosted_ ? f_boost_ : f_opt_;
+  }
+
+  [[nodiscard]] Hertz peek(const EpochObservation& obs) const override {
+    return next_boost_state(obs) ? f_boost_ : f_opt_;
   }
 
   [[nodiscard]] Second transition_time(Hertz from, Hertz to) const override {
@@ -237,10 +236,26 @@ class NtcBoostGovernor final : public FleetGovernor {
   }
 
  private:
+  /// Hysteretic boost state transition as a pure function of (current
+  /// state, observation): decide() commits it, peek() previews it.
+  [[nodiscard]] bool next_boost_state(const EpochObservation& obs) const {
+    // Two boost triggers: measured tail pressure (the SLO feedback) and
+    // measured saturation (the leading indicator — a pinned fleet that
+    // has run out of capacity will violate a lagging p99 before the p99
+    // can report it). Absent any completion, the tail contributes no
+    // signal and only utilization speaks.
+    const bool tail_signal = obs.p99.value() > 0.0;
+    const bool pressure = (tail_signal && obs.p99 > boost_at_) ||
+                          obs.utilization >= util_boost_;
+    const bool tail_calm = !tail_signal || obs.p99 < release_at_;
+    if (!boosted_ && pressure) return true;
+    if (boosted_ && tail_calm && obs.utilization < util_release_) return false;
+    return boosted_;
+  }
+
   const pm::PowerManager& manager_;
   Hertz f_opt_;
   Hertz f_boost_;
-  Second limit_;
   Second boost_at_;
   Second release_at_;
   double util_boost_;

@@ -62,6 +62,7 @@ struct EpochObservation {
 /// pm::PowerManager::run decisions for the same demand shape.
 struct EpochRecord {
   pm::EpochDecision decision;  ///< frequency/duty/sleep/power, shared with src/pm
+  int chip = 0;                ///< chip the record belongs to (per-chip DVFS)
   std::uint64_t epoch = 0;
   double utilization = 0.0;
   Second p99{0.0};             ///< measured epoch tail (0 = no completions)
@@ -151,6 +152,13 @@ class FleetGovernor {
 
   /// Frequency for the next epoch given the last epoch's measurement.
   [[nodiscard]] virtual Hertz decide(const EpochObservation& obs) = 0;
+
+  /// What decide() *would* return for `obs`, without advancing the
+  /// governor's state. The governor-aware balancer (dc::BalancePolicy::
+  /// kGovernorAware) polls this mid-epoch with a running partial
+  /// observation to steer latency-critical requests away from chips whose
+  /// governor is about to descend in frequency.
+  [[nodiscard]] virtual Hertz peek(const EpochObservation& obs) const = 0;
 
   /// Wall-clock cost of a frequency change, charged as a service stall.
   [[nodiscard]] virtual Second transition_time(Hertz from, Hertz to) const = 0;

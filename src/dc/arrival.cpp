@@ -34,6 +34,8 @@ void ArrivalConfig::validate() const {
     NTSERV_EXPECTS(diurnal_trough > 0.0 && diurnal_trough <= 1.0,
                    "diurnal trough must be in (0,1]");
     NTSERV_EXPECTS(diurnal_period.value() > 0.0, "diurnal period must be positive");
+    NTSERV_EXPECTS(diurnal_phase >= 0.0 && diurnal_phase < 1.0,
+                   "diurnal phase must be in [0,1)");
   }
   if (kind == ArrivalKind::kVmPopulation) {
     NTSERV_EXPECTS(vm_population > 0, "VM population must be positive");
@@ -89,7 +91,8 @@ double ArrivalProcess::mmpp_state_rate() const {
 double ArrivalProcess::diurnal_rate_at(double t) const {
   // Sinusoid between trough*rate and rate over one period.
   constexpr double kTwoPi = 6.283185307179586476925286766559;
-  const double phase = 0.5 * (1.0 - std::cos(kTwoPi * t / config_.diurnal_period.value()));
+  const double cycle = t / config_.diurnal_period.value() + config_.diurnal_phase;
+  const double phase = 0.5 * (1.0 - std::cos(kTwoPi * cycle));
   return config_.rate * (config_.diurnal_trough +
                          (1.0 - config_.diurnal_trough) * phase);
 }

@@ -54,6 +54,10 @@ struct ArrivalConfig {
   double diurnal_trough = 0.2;
   /// Length of one synthetic "day" (scaled for simulation turnaround).
   Second diurnal_period{1.0};
+  /// Phase offset as a fraction of the period, in [0, 1). Two tenants at
+  /// phase 0 and 0.5 peak in antiphase — the consolidation scenarios use
+  /// this to co-locate day-peaking and night-peaking traffic on one chip.
+  double diurnal_phase = 0.0;
 
   // ---- VM population (kVmPopulation) ----
   /// Number of VMs sampled from the Bitbrains model.

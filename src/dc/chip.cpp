@@ -1,0 +1,268 @@
+#include "dc/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ntserv::dc {
+
+ChipServer::ChipServer(const ChipParams& params)
+    : cores_per_cluster_(params.cluster.hierarchy.cores),
+      chip_id_(params.chip_id),
+      base_frequency_(params.frequency),
+      frequency_(params.frequency) {
+  NTSERV_EXPECTS(params.clusters > 0, "a chip needs at least one cluster");
+  NTSERV_EXPECTS(params.tenants > 0, "a chip needs at least one tenant");
+  clusters_.reserve(static_cast<std::size_t>(params.clusters));
+  for (int k = 0; k < params.clusters; ++k) {
+    sim::ClusterConfig cc = params.cluster;
+    cc.core_clock = params.frequency;
+    // Per-cluster workload stream: a pure function of (fleet seed, global
+    // cluster index), so results never depend on chip grouping,
+    // construction order or thread count.
+    const int g = params.first_cluster_index + k;
+    const std::uint64_t cluster_seed =
+        derive_seed(params.fleet_seed, 0x5E28ull + static_cast<std::uint64_t>(g));
+    std::vector<std::unique_ptr<cpu::UopSource>> sources;
+    for (int c = 0; c < cc.hierarchy.cores; ++c) {
+      sources.push_back(std::make_unique<workload::SyntheticWorkload>(
+          params.profile, cluster_seed + static_cast<std::uint64_t>(c) * 7919,
+          workload::AddressSpace::for_core(static_cast<CoreId>(c))));
+    }
+    auto cluster = std::make_unique<sim::Cluster>(cc, std::move(sources));
+    cluster->run_until_committed(params.warm_instructions, params.warm_max_cycles);
+    clusters_.push_back(std::move(cluster));
+  }
+  slots_.resize(static_cast<std::size_t>(params.clusters * cores_per_cluster_));
+  busy_per_cluster_.assign(static_cast<std::size_t>(params.clusters), 0);
+  tenant_busy_seconds_.assign(static_cast<std::size_t>(params.tenants), 0.0);
+}
+
+void ChipServer::set_frequency(Hertz f) {
+  frequency_ = f;
+  for (auto& cluster : clusters_) cluster->set_core_clock(f);
+}
+
+void ChipServer::start_services(double now_s) {
+  if (in_transition(now_s)) return;  // the whole voltage domain is mid-swing
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (queue_.empty()) return;
+    CoreSlot& slot = slots_[s];
+    if (slot.busy) continue;
+    slot.request = queue_.front();
+    queue_.pop_front();
+    slot.request.core = static_cast<int>(s);
+    slot.request.start_s = now_s;
+    slot.target_user_committed =
+        cluster_of_slot(s).user_committed_on(core_of_slot(s)) + slot.request.budget;
+    slot.busy = true;
+    ++busy_cores_;
+    ++busy_per_cluster_[s / static_cast<std::size_t>(cores_per_cluster_)];
+  }
+}
+
+void ChipServer::advance(double now_s, double dt, Cycle quantum,
+                         const std::function<void(const Request&)>& on_complete) {
+  if (busy_cores_ == 0) return;  // whole chip asleep (fleet-level event skip)
+
+  // Cycles this quantum at the chip's own clock. The ratio is exactly 1.0
+  // while the chip sits at the fleet base frequency, so ungoverned runs
+  // advance precisely `quantum` cycles; a descended chip accumulates
+  // fractional cycles across quanta instead of rounding them away.
+  const double ratio = frequency_.value() / base_frequency_.value();
+  cycle_carry_ += static_cast<double>(quantum) * ratio;
+  const auto cycles = static_cast<Cycle>(cycle_carry_);
+  cycle_carry_ -= static_cast<double>(cycles);
+
+  // Busy/active time accrues in master wall time regardless of the cycle
+  // quantization: the cores were occupied for the whole quantum.
+  active_seconds_ += dt;
+  epoch_active_seconds_ += dt;
+  const double busy_dt = static_cast<double>(busy_cores_) * dt;
+  busy_core_seconds_ += busy_dt;
+  epoch_busy_core_seconds_ += busy_dt;
+  for (const auto& slot : slots_) {
+    if (slot.busy) {
+      tenant_busy_seconds_[static_cast<std::size_t>(slot.request.tenant)] += dt;
+    }
+  }
+  if (cycles == 0) return;  // clock too slow for this quantum; carry holds it
+
+  // Wall span the advanced cycles actually cover (== dt at the base
+  // frequency; within one cycle of dt otherwise).
+  const double served_dt = static_cast<double>(cycles) / frequency_.value();
+
+  for (std::size_t k = 0; k < clusters_.size(); ++k) {
+    if (busy_per_cluster_[k] == 0) continue;  // idle cluster stays asleep
+    sim::Cluster& cluster = *clusters_[k];
+    const std::size_t first = k * static_cast<std::size_t>(cores_per_cluster_);
+    const std::size_t last = first + static_cast<std::size_t>(cores_per_cluster_);
+    for (std::size_t s = first; s < last; ++s) {
+      if (slots_[s].busy) {
+        slots_[s].committed_at_quantum_start =
+            cluster.user_committed_on(core_of_slot(s));
+      }
+    }
+    cluster.run(cycles);
+
+    for (std::size_t s = first; s < last; ++s) {
+      CoreSlot& slot = slots_[s];
+      while (slot.busy) {
+        const std::uint64_t committed = cluster.user_committed_on(core_of_slot(s));
+        if (committed < slot.target_user_committed) break;
+        // Interpolate the completion inside the quantum from the commit
+        // overshoot, so latency error is O(1) instructions, not O(quantum).
+        const std::uint64_t progressed = committed - slot.committed_at_quantum_start;
+        const std::uint64_t needed =
+            slot.target_user_committed - slot.committed_at_quantum_start;
+        const double frac =
+            progressed > 0
+                ? static_cast<double>(needed) / static_cast<double>(progressed)
+                : 1.0;
+        slot.request.completion_s = now_s + frac * served_dt;
+        if (governor_ != nullptr) epoch_latencies_.push_back(slot.request.latency_s());
+        on_complete(slot.request);
+        if (!queue_.empty()) {
+          // Back-to-back service: the next queued request starts at the
+          // interpolated completion instant, and the instructions the
+          // core has already committed past the old target count toward
+          // it — no quantum of capacity is lost between requests.
+          Request next = queue_.front();
+          queue_.pop_front();
+          next.core = slot.request.core;
+          next.start_s = slot.request.completion_s;
+          slot.target_user_committed += next.budget;
+          slot.request = next;
+          continue;  // the overshoot may already cover the next budget
+        }
+        slot.busy = false;
+        --busy_cores_;
+        --busy_per_cluster_[k];
+        break;
+      }
+    }
+  }
+}
+
+void ChipServer::attach_governor(std::unique_ptr<ctrl::FleetGovernor> governor,
+                                 const pm::PowerManager* manager, Second qos_p99_limit) {
+  NTSERV_EXPECTS(governor != nullptr && manager != nullptr,
+                 "attach_governor needs a governor and its power manager");
+  governor_ = std::move(governor);
+  manager_ = manager;
+  qos_p99_limit_ = qos_p99_limit;
+  set_frequency(governor_->initial_frequency());
+}
+
+ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
+                                                 std::uint64_t epoch_index,
+                                                 bool final_partial) {
+  NTSERV_EXPECTS(governor_ != nullptr, "close_epoch on an ungoverned chip");
+  EpochOutcome out;
+  const double epoch_start = now_s - duration;
+  // The closing epoch's share of the (single, boundary-started) stall: a
+  // voltage ramp can span several control intervals, and each records
+  // exactly the pause that fell inside it.
+  const double stall_overlap =
+      std::max(0.0, std::min(stall_until_s_, now_s) - std::max(stall_begin_s_, epoch_start));
+  if (duration <= 0.0 && stall_overlap <= 0.0) return out;
+
+  ctrl::EpochRecord rec;
+  rec.chip = chip_id_;
+  rec.epoch = epoch_index;
+  rec.duration = Second{duration};
+  rec.utilization =
+      duration > 0.0
+          ? epoch_busy_core_seconds_ / (duration * static_cast<double>(cores()))
+          : 0.0;
+  rec.transition = stall_overlap > 0.0;
+  rec.transition_time = Second{stall_overlap};
+  rec.boosted = governor_->boosted();
+
+  double p99 = 0.0;
+  if (!epoch_latencies_.empty()) {
+    std::sort(epoch_latencies_.begin(), epoch_latencies_.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(epoch_latencies_.size())));
+    rank = std::max<std::size_t>(rank, 1);
+    p99 = epoch_latencies_[std::min(rank, epoch_latencies_.size()) - 1];
+  }
+  rec.p99 = Second{p99};
+
+  // Energy: the serving span at the governor's duty semantics, plus the
+  // stalled span at full active power (the ramp burns at the target
+  // point — frequency_ already is the target during a stall). Charging
+  // the stall through its epochs, not at the decision, keeps every wall
+  // second charged exactly once.
+  const bool sleeps = governor_->sleeps_when_idle();
+  const double serving = duration - stall_overlap;
+  const double duty = sleeps && serving > 0.0
+                          ? std::min(1.0, epoch_active_seconds_ / serving)
+                          : (serving > 0.0 ? 1.0 : 0.0);
+  out.energy_j =
+      governor_->epoch_energy(*manager_, frequency_, duty, Second{serving}).value() +
+      governor_->epoch_energy(*manager_, frequency_, 1.0, Second{stall_overlap}).value();
+
+  rec.decision.frequency = frequency_;
+  rec.decision.duty = duty;
+  rec.decision.sleeps = sleeps && duty < 1.0;
+  rec.decision.avg_power = duration > 0.0 ? Watt{out.energy_j / duration} : Watt{0.0};
+  const double limit = qos_p99_limit_.value();
+  rec.violation = limit > 0.0 && p99 > limit && !rec.transition;
+  rec.decision.met_demand = !rec.violation;
+
+  freq_seconds_ += frequency_.value() * duration;
+  governed_seconds_ += duration;
+  last_epoch_utilization_ = rec.utilization;
+  last_epoch_p99_ = Second{p99};
+
+  // A chip mid-swing at the boundary holds: the governor cannot retune a
+  // voltage domain that has not settled yet.
+  if (!final_partial && !in_transition(now_s)) {
+    ctrl::EpochObservation obs;
+    obs.epoch = epoch_index;
+    obs.frequency = frequency_;
+    obs.utilization = rec.utilization;
+    obs.completions = epoch_latencies_.size();
+    obs.p99 = Second{p99};
+    const Hertz f_next = governor_->decide(obs);
+    if (f_next != frequency_) {
+      // The shared transition: every cluster on the chip pauses for the
+      // swing while arrivals keep queueing. Its energy accrues in the
+      // epochs the stall overlaps (see above).
+      const Second t_trans = governor_->transition_time(frequency_, f_next);
+      out.transition_s = t_trans.value();
+      begin_stall(now_s, t_trans);
+      set_frequency(f_next);
+    }
+  }
+
+  out.record = rec;
+  out.emitted = true;
+  epoch_latencies_.clear();
+  epoch_busy_core_seconds_ = 0.0;
+  epoch_active_seconds_ = 0.0;
+  return out;
+}
+
+bool ChipServer::pending_descent(double now_s, double epoch_start_s,
+                                 double min_window_s) const {
+  if (governor_ == nullptr) return false;
+  const double elapsed = now_s - epoch_start_s;
+  ctrl::EpochObservation obs;
+  obs.frequency = frequency_;
+  // The running utilization estimate is noise at the top of an epoch; the
+  // last closed epoch's value stands in until the window is long enough.
+  obs.utilization =
+      elapsed >= min_window_s && elapsed > 0.0
+          ? std::min(1.0, epoch_busy_core_seconds_ / (elapsed * static_cast<double>(cores())))
+          : last_epoch_utilization_;
+  obs.completions = epoch_latencies_.size();
+  obs.p99 = last_epoch_p99_;  // the tail is a lagging signal by nature
+  return governor_->peek(obs).value() < frequency_.value() * (1.0 - 1e-9);
+}
+
+}  // namespace ntserv::dc

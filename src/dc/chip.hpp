@@ -1,0 +1,214 @@
+// One multi-cluster chip serving requests behind a single power envelope.
+//
+// The paper's scale-out argument (Sec. II-B) is that many small
+// near-threshold clusters share one server chip: clusters are
+// architecturally independent (private LLC slice, no coherence across
+// pods), but they share the chip's voltage/frequency domain and its
+// power/thermal envelope. ChipServer models exactly that unit: N
+// sim::Cluster instances advanced on one wall clock, one dispatch queue,
+// one frequency (per-chip DVFS — a change retunes every cluster and
+// stalls the whole chip for the shared transition), and one
+// ctrl::FleetGovernor instance making the chip's epoch decisions.
+//
+// ClusterFleet (dc/fleet.hpp) owns a vector of chips and runs the
+// dispatch loop; the chip owns everything inside its envelope: core
+// slots, cycle accounting against the fleet's base clock (a chip whose
+// governor descended advances fewer cycles per master quantum), epoch
+// accumulators, and the governor itself.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ctrl/governor.hpp"
+#include "pm/power_manager.hpp"
+#include "sim/cluster.hpp"
+#include "workload/profile.hpp"
+
+namespace ntserv::dc {
+
+/// Per-request lifecycle record, in wall seconds (fractional: completions
+/// are interpolated inside the advance quantum).
+struct Request {
+  std::uint64_t id = 0;         ///< global admission-order sequence (retry ties)
+  int tenant = 0;               ///< index into the fleet's tenant table
+  std::uint64_t tenant_seq = 0; ///< per-tenant sequence (budgets, warmup)
+  double arrival_s = 0.0;       ///< first offered (back-off does not reset it)
+  double start_s = 0.0;         ///< service began on a core
+  double completion_s = 0.0;
+  std::uint64_t budget = 0;     ///< user-instruction cost (ctrl::BudgetSampler)
+  int attempts = 0;             ///< admission rejections suffered so far
+  int server = -1;
+  int core = -1;
+
+  [[nodiscard]] double latency_s() const { return completion_s - arrival_s; }
+  [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
+};
+
+/// Construction parameters for one chip (the fleet stamps these out).
+struct ChipParams {
+  sim::ClusterConfig cluster;   ///< per-cluster shape (core_clock overwritten)
+  int clusters = 1;
+  workload::WorkloadProfile profile;
+  Hertz frequency{2e9};         ///< fleet base frequency (the master clock)
+  std::uint64_t warm_instructions = 600'000;
+  Cycle warm_max_cycles = 6'000'000;
+  std::uint64_t fleet_seed = 1;
+  /// Global index of this chip's first cluster: per-cluster workload
+  /// streams are a pure function of (fleet seed, global cluster index),
+  /// so a 2-chip x 1-cluster fleet and the old flat 2-server fleet see
+  /// identical instruction streams.
+  int first_cluster_index = 0;
+  int chip_id = 0;
+  int tenants = 1;              ///< size of the per-tenant busy-time table
+};
+
+/// N sim::Cluster instances behind one queue, one frequency and one
+/// governor decision.
+class ChipServer {
+ public:
+  explicit ChipServer(const ChipParams& params);
+
+  ChipServer(const ChipServer&) = delete;
+  ChipServer& operator=(const ChipServer&) = delete;
+
+  [[nodiscard]] int clusters() const { return static_cast<int>(clusters_.size()); }
+  [[nodiscard]] int cores() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] Hertz frequency() const { return frequency_; }
+
+  // ---- Dispatch interface ----
+  [[nodiscard]] std::deque<Request>& queue() { return queue_; }
+  /// Queued + in-service requests.
+  [[nodiscard]] int outstanding() const {
+    return static_cast<int>(queue_.size()) + busy_cores_;
+  }
+  [[nodiscard]] int busy_cores() const { return busy_cores_; }
+  /// Move queued requests onto idle core slots (no-op mid-transition).
+  void start_services(double now_s);
+
+  // ---- Per-chip DVFS (one shared voltage domain) ----
+  /// Retune every cluster's clock; takes effect on the next advance().
+  void set_frequency(Hertz f);
+  /// Freeze service for `duration` starting at `now_s` (the shared DVFS /
+  /// body-bias transition stall: every cluster pauses together). The
+  /// pause is quantized up to the next master quantum boundary. A stall
+  /// may span several epochs (a voltage ramp is longer than one control
+  /// interval); each overlapped epoch records its share as
+  /// EpochRecord::transition_time, and the chip holds further decisions
+  /// until the swing settles.
+  void begin_stall(double now_s, Second duration) {
+    stall_begin_s_ = now_s;
+    stall_until_s_ = now_s + duration.value();
+  }
+  [[nodiscard]] bool in_transition(double now_s) const {
+    return now_s < stall_until_s_;
+  }
+  [[nodiscard]] double stall_until() const { return stall_until_s_; }
+
+  // ---- Time ----
+  /// Advance one master quantum of `dt` wall seconds (= `quantum` cycles
+  /// of the fleet's base clock). The chip's clusters advance
+  /// quantum * f_chip / f_base cycles (fractional cycles carried across
+  /// quanta), so a descended chip serves proportionally fewer
+  /// instructions per quantum. Completed requests are handed to
+  /// `on_complete` in deterministic (cluster-major, slot-minor) order.
+  void advance(double now_s, double dt, Cycle quantum,
+               const std::function<void(const Request&)>& on_complete);
+
+  // ---- Governor / epochs ----
+  /// Attach this chip's governor instance (fleet-built; `manager` must
+  /// outlive the chip). Sets the chip to the governor's initial frequency.
+  void attach_governor(std::unique_ptr<ctrl::FleetGovernor> governor,
+                       const pm::PowerManager* manager, Second qos_p99_limit);
+  [[nodiscard]] bool governed() const { return governor_ != nullptr; }
+  [[nodiscard]] const ctrl::FleetGovernor& governor() const { return *governor_; }
+
+  /// Outcome of one chip epoch: the record, its energy, and any
+  /// transition begun at the boundary. record.transition_time carries the
+  /// stall span that fell *inside* the recorded epoch (charged at full
+  /// active power as part of energy_j); transition_s is the full stall
+  /// begun at this boundary (counted as one transition).
+  struct EpochOutcome {
+    ctrl::EpochRecord record;
+    double energy_j = 0.0;   ///< epoch energy (serving duty + stall burn)
+    double transition_s = 0.0;  ///< stall begun at this boundary
+    bool emitted = false;       ///< false for a degenerate empty epoch
+  };
+
+  /// Close the epoch ending at `now_s` with length `duration`: record it,
+  /// charge its energy, and (unless `final_partial`) ask the governor for
+  /// the next frequency, beginning the shared transition stall on a
+  /// change.
+  [[nodiscard]] EpochOutcome close_epoch(double now_s, double duration,
+                                         std::uint64_t epoch_index, bool final_partial);
+
+  /// Governor-aware balancing signal: would this chip's governor descend
+  /// in frequency if the epoch closed now? Judged from the running
+  /// partial-epoch utilization once at least `min_window_s` of the epoch
+  /// has elapsed (before that the estimate is noise and the last closed
+  /// epoch's utilization stands in), with the last epoch's p99 as the
+  /// lagging tail signal.
+  [[nodiscard]] bool pending_descent(double now_s, double epoch_start_s,
+                                     double min_window_s) const;
+
+  // ---- Accounting (since construction) ----
+  [[nodiscard]] double active_seconds() const { return active_seconds_; }
+  [[nodiscard]] double busy_core_seconds() const { return busy_core_seconds_; }
+  [[nodiscard]] double tenant_busy_seconds(int tenant) const {
+    return tenant_busy_seconds_.at(static_cast<std::size_t>(tenant));
+  }
+  [[nodiscard]] double freq_seconds() const { return freq_seconds_; }
+  [[nodiscard]] double governed_seconds() const { return governed_seconds_; }
+
+ private:
+  struct CoreSlot {
+    bool busy = false;
+    std::uint64_t target_user_committed = 0;
+    std::uint64_t committed_at_quantum_start = 0;
+    Request request;
+  };
+
+  [[nodiscard]] sim::Cluster& cluster_of_slot(std::size_t slot) {
+    return *clusters_[slot / static_cast<std::size_t>(cores_per_cluster_)];
+  }
+  [[nodiscard]] int core_of_slot(std::size_t slot) const {
+    return static_cast<int>(slot) % cores_per_cluster_;
+  }
+
+  std::vector<std::unique_ptr<sim::Cluster>> clusters_;
+  std::vector<CoreSlot> slots_;       ///< cluster-major, core-minor
+  std::vector<int> busy_per_cluster_;
+  std::deque<Request> queue_;
+  int cores_per_cluster_ = 0;
+  int busy_cores_ = 0;
+  int chip_id_ = 0;
+
+  Hertz base_frequency_;   ///< the fleet's master clock
+  Hertz frequency_;        ///< current chip clock (per-chip DVFS)
+  double cycle_carry_ = 0.0;
+  double stall_begin_s_ = 0.0;
+  double stall_until_s_ = 0.0;
+
+  // Lifetime accounting.
+  double active_seconds_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+  std::vector<double> tenant_busy_seconds_;
+  double freq_seconds_ = 0.0;      ///< integral of f over governed time
+  double governed_seconds_ = 0.0;
+
+  // Epoch accumulators (governed runs).
+  std::unique_ptr<ctrl::FleetGovernor> governor_;
+  const pm::PowerManager* manager_ = nullptr;
+  Second qos_p99_limit_{0.0};
+  std::vector<double> epoch_latencies_;
+  double epoch_busy_core_seconds_ = 0.0;
+  double epoch_active_seconds_ = 0.0;
+  double last_epoch_utilization_ = 0.0;
+  Second last_epoch_p99_{0.0};
+};
+
+}  // namespace ntserv::dc

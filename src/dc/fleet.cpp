@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "workload/synthetic.hpp"
 
 namespace ntserv::dc {
 
@@ -15,190 +15,248 @@ const char* to_string(BalancePolicy p) {
     case BalancePolicy::kRoundRobin: return "round-robin";
     case BalancePolicy::kLeastLoaded: return "least-loaded";
     case BalancePolicy::kPowerAware: return "power-aware";
+    case BalancePolicy::kGovernorAware: return "governor-aware";
   }
   return "unknown";
 }
 
-ctrl::BudgetConfig FleetConfig::resolved_budget() const {
+void TenantSpec::validate() const {
+  NTSERV_EXPECTS(!name.empty(), "tenant needs a name");
+  arrival.validate();
+  NTSERV_EXPECTS(user_instructions_per_request > 0,
+                 "requests must cost at least one instruction");
+  NTSERV_EXPECTS(requests > 0, "tenant needs at least one measured request");
+  resolved_budget().validate();
+}
+
+ctrl::BudgetConfig TenantSpec::resolved_budget() const {
   ctrl::BudgetConfig b = budget;
   if (b.mean == 0) b.mean = user_instructions_per_request;
   return b;
 }
 
+std::vector<TenantSpec> FleetConfig::resolved_tenants() const {
+  if (!tenants.empty()) return tenants;
+  TenantSpec t;
+  t.arrival = arrival;
+  t.budget = budget;
+  t.user_instructions_per_request = user_instructions_per_request;
+  t.requests = requests;
+  t.warmup_requests = warmup_requests;
+  return {t};
+}
+
 void FleetConfig::validate() const {
   profile.validate();
-  arrival.validate();
-  NTSERV_EXPECTS(servers > 0, "fleet needs at least one server");
+  NTSERV_EXPECTS(servers > 0, "fleet needs at least one chip");
+  NTSERV_EXPECTS(clusters_per_chip > 0, "a chip needs at least one cluster");
   NTSERV_EXPECTS(frequency.value() > 0.0, "core frequency must be positive");
-  NTSERV_EXPECTS(user_instructions_per_request > 0,
-                 "requests must cost at least one instruction");
-  NTSERV_EXPECTS(requests > 0, "need at least one measured request");
   NTSERV_EXPECTS(quantum > 0, "quantum must be positive");
   NTSERV_EXPECTS(pack_depth_per_core > 0.0, "pack depth must be positive");
-  resolved_budget().validate();
+  const auto resolved = resolved_tenants();
+  std::set<std::string> names;
+  for (const auto& t : resolved) {
+    t.validate();
+    NTSERV_EXPECTS(names.insert(t.name).second, "tenant names must be unique");
+  }
   admission.validate();
   governor.validate();
 }
 
 ClusterFleet::ClusterFleet(FleetConfig config)
-    : config_(std::move(config)),
-      arrivals_(config_.arrival, derive_seed(config_.seed, 0xA441ull)),
-      budgets_(config_.resolved_budget(), derive_seed(config_.seed, 0xB0D6ull)),
-      admission_(config_.admission) {
+    : config_(std::move(config)), admission_(config_.admission) {
   config_.validate();
-  if (config_.governor.kind != ctrl::GovernorKind::kNone) {
+  governed_ = config_.governor.kind != ctrl::GovernorKind::kNone;
+  if (governed_) {
     if (config_.governor.curve.empty()) config_.governor.curve = ctrl::default_uips_curve();
     manager_ = std::make_unique<pm::PowerManager>(ctrl::make_power_manager(config_.governor));
-    governor_ = ctrl::make_governor(config_.governor, *manager_);
   }
-  servers_.reserve(static_cast<std::size_t>(config_.servers));
+  const auto specs = config_.resolved_tenants();
+  tenants_.reserve(specs.size());
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    TenantState state;
+    state.spec = specs[t];
+    // Per-tenant streams keyed by tenant index: tenant 0 reproduces the
+    // legacy single-tenant seeds exactly.
+    state.arrivals = std::make_unique<ArrivalProcess>(
+        specs[t].arrival, derive_seed(config_.seed, 0xA441ull + t));
+    state.budgets = std::make_unique<ctrl::BudgetSampler>(
+        specs[t].resolved_budget(), derive_seed(config_.seed, 0xB0D6ull + t));
+    state.total = specs[t].requests + specs[t].warmup_requests;
+    tenants_.push_back(std::move(state));
+  }
+  chips_.reserve(static_cast<std::size_t>(config_.servers));
   for (int s = 0; s < config_.servers; ++s) {
-    sim::ClusterConfig cc = config_.cluster;
-    cc.core_clock = config_.frequency;
-    // Per-server workload stream: a pure function of (seed, server index),
-    // so fleet results never depend on construction or thread order.
-    const std::uint64_t server_seed =
-        derive_seed(config_.seed, 0x5E28ull + static_cast<std::uint64_t>(s));
-    std::vector<std::unique_ptr<cpu::UopSource>> sources;
-    for (int c = 0; c < cc.hierarchy.cores; ++c) {
-      sources.push_back(std::make_unique<workload::SyntheticWorkload>(
-          config_.profile, server_seed + static_cast<std::uint64_t>(c) * 7919,
-          workload::AddressSpace::for_core(static_cast<CoreId>(c))));
+    ChipParams params;
+    params.cluster = config_.cluster;
+    params.clusters = config_.clusters_per_chip;
+    params.profile = config_.profile;
+    params.frequency = config_.frequency;
+    params.warm_instructions = config_.warm_instructions;
+    params.warm_max_cycles = config_.warm_max_cycles;
+    params.fleet_seed = config_.seed;
+    params.first_cluster_index = s * config_.clusters_per_chip;
+    params.chip_id = s;
+    params.tenants = static_cast<int>(tenants_.size());
+    chips_.push_back(std::make_unique<ChipServer>(params));
+    if (governed_) {
+      // One governor instance per chip: identical initial state, but each
+      // evolves on its own chip's observations (per-chip DVFS).
+      chips_.back()->attach_governor(ctrl::make_governor(config_.governor, *manager_),
+                                     manager_.get(), config_.governor.qos_p99_limit);
     }
-    Server server;
-    server.cluster = std::make_unique<sim::Cluster>(cc, std::move(sources));
-    server.cluster->run_until_committed(config_.warm_instructions, config_.warm_max_cycles);
-    server.slots.resize(static_cast<std::size_t>(cc.hierarchy.cores));
-    servers_.push_back(std::move(server));
   }
 }
 
 int ClusterFleet::outstanding(int s) const {
-  const Server& server = servers_.at(static_cast<std::size_t>(s));
-  return static_cast<int>(server.queue.size()) + server.busy_cores;
+  return chips_.at(static_cast<std::size_t>(s))->outstanding();
 }
 
-int ClusterFleet::pick_server() {
+int ClusterFleet::least_loaded() const {
+  int best = 0;
+  for (int s = 1; s < servers(); ++s) {
+    if (outstanding(s) < outstanding(best)) best = s;
+  }
+  return best;
+}
+
+int ClusterFleet::pick_server(const Request& req, double now_s) {
   switch (config_.policy) {
     case BalancePolicy::kRoundRobin: {
       const int s = round_robin_next_;
       round_robin_next_ = (round_robin_next_ + 1) % servers();
       return s;
     }
-    case BalancePolicy::kLeastLoaded: {
-      int best = 0;
-      for (int s = 1; s < servers(); ++s) {
-        if (outstanding(s) < outstanding(best)) best = s;
-      }
-      return best;
-    }
+    case BalancePolicy::kLeastLoaded:
+      return least_loaded();
     case BalancePolicy::kPowerAware: {
-      // Pack in index order while a server has headroom; beyond that fall
+      // Pack in index order while a chip has headroom; beyond that fall
       // back to least-loaded so saturation degrades gracefully.
       const double cap = config_.pack_depth_per_core *
                          static_cast<double>(cores_per_server());
       for (int s = 0; s < servers(); ++s) {
         if (static_cast<double>(outstanding(s)) < cap) return s;
       }
-      int best = 0;
-      for (int s = 1; s < servers(); ++s) {
-        if (outstanding(s) < outstanding(best)) best = s;
+      return least_loaded();
+    }
+    case BalancePolicy::kGovernorAware: {
+      const int base = least_loaded();
+      if (!governed_) return base;  // nothing to anticipate open-loop
+      const bool critical =
+          tenants_[static_cast<std::size_t>(req.tenant)].spec.latency_critical;
+      if (!critical) return base;  // batch work soaks any chip, descending or not
+      // Steer latency-critical work onto chips that are neither
+      // mid-transition nor about to descend at the next epoch boundary
+      // (the governor's pending decision, previewed via peek).
+      int best = -1;
+      for (int s = 0; s < servers(); ++s) {
+        const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
+        if (chip.in_transition(now_s) ||
+            chip.pending_descent(now_s, epoch_start_s_, peek_window_s_)) {
+          continue;
+        }
+        if (best < 0 || outstanding(s) < outstanding(best)) best = s;
       }
+      if (best < 0) return base;  // every chip descending: nowhere to steer
+      if (best != base) ++steered_;
       return best;
     }
   }
   return 0;
 }
 
-void ClusterFleet::start_services(Server& server, double now_s) {
-  for (std::size_t c = 0; c < server.slots.size(); ++c) {
-    if (server.queue.empty()) return;
-    CoreSlot& slot = server.slots[c];
-    if (slot.busy) continue;
-    slot.request = server.queue.front();
-    server.queue.pop_front();
-    slot.request.core = static_cast<int>(c);
-    slot.request.start_s = now_s;
-    slot.target_user_committed =
-        server.cluster->user_committed_on(static_cast<int>(c)) + slot.request.budget;
-    slot.busy = true;
-    ++server.busy_cores;
-  }
-}
-
 bool ClusterFleet::any_core_busy() const {
-  for (const auto& server : servers_) {
-    if (server.busy_cores > 0) return true;
+  for (const auto& chip : chips_) {
+    if (chip->busy_cores() > 0) return true;
   }
   return false;
 }
 
-void ClusterFleet::set_frequency(Hertz f) {
-  for (auto& server : servers_) server.cluster->set_core_clock(f);
-}
-
 FleetResult ClusterFleet::run() {
-  const bool governed = governor_ != nullptr;
   const double base_f = config_.frequency.value();
-  const std::uint64_t total = config_.requests + config_.warmup_requests;
   const double max_s = static_cast<double>(config_.max_cycles) / base_f;
   const Cycle q = config_.quantum;
-  const int total_cores = config_.servers * cores_per_server();
+  const double dt = static_cast<double>(q) / base_f;  // master wall quantum
+  const int total_cores = servers() * cores_per_server();
 
-  Hertz f_cur = config_.frequency;
-  if (governed) {
-    f_cur = governor_->initial_frequency();
-    set_frequency(f_cur);
+  std::uint64_t total = 0;
+  for (auto& tenant : tenants_) {
+    total += tenant.total;
+    tenant.next_arrival_s = tenant.arrivals->next().value();
   }
 
   StreamingPercentiles latency;
   RunningStats latency_mean, wait_mean;
   double now_s = 0.0;
+  std::uint64_t next_id = 0;  ///< global admission-order sequence
   std::uint64_t offered = 0, admitted = 0, retry_count = 0, shed = 0;
   std::uint64_t disposed = 0;  ///< completions + permanently shed
   std::uint64_t completed_total = 0, completed_measured = 0;
   bool truncated = false;
-  double next_arrival_s = arrivals_.next().value();
   double last_arrival_s = 0.0;
+  steered_ = 0;
 
   // Epoch (closed-loop) state. The epoch is a *wall-time* control
-  // interval sized at the base frequency: a governor that slowed the
-  // clock must not also slow its own reaction time.
+  // interval sized at the base frequency: a governor that slowed a
+  // chip's clock must not also slow its own reaction time. All chips
+  // share the boundary grid; each makes its own decision at it.
   const double epoch_len_s =
-      static_cast<double>(config_.governor.epoch_quanta) *
-      static_cast<double>(q) / base_f;
-  double epoch_start_s = 0.0;
-  double epoch_busy_core_seconds = 0.0;
-  std::vector<double> epoch_latencies;
+      static_cast<double>(config_.governor.epoch_quanta) * dt;
+  epoch_start_s_ = 0.0;
+  peek_window_s_ = 0.25 * epoch_len_s;
   std::uint64_t epoch_index = 0;
-  bool epoch_began_with_transition = false;
-  double pending_transition_s = 0.0;
   double energy_j = 0.0;
-  double freq_seconds = 0.0;     ///< integral of f over governed time
-  double governed_seconds = 0.0;
   Second total_transition{0.0};
   int transitions = 0, transition_epochs = 0, violations = 0;
   std::vector<ctrl::EpochRecord> epoch_records;
 
+  // Close the epoch on every chip: record, charge energy, and (unless
+  // final) take each chip's next decision, beginning its transition
+  // stall on a change.
+  auto close_epochs = [&](bool final_partial) {
+    const double duration = now_s - epoch_start_s_;
+    for (auto& chip : chips_) {
+      auto outcome = chip->close_epoch(now_s, duration, epoch_index, final_partial);
+      if (!outcome.emitted) continue;
+      energy_j += outcome.energy_j;
+      if (outcome.transition_s > 0.0) ++transitions;
+      // Recorded per-epoch overlaps sum to the realized stall time, so
+      // the records and the total stay consistent by construction.
+      total_transition += outcome.record.transition_time;
+      if (outcome.record.transition) ++transition_epochs;
+      if (outcome.record.violation) ++violations;
+      epoch_records.push_back(outcome.record);
+    }
+    ++epoch_index;
+    epoch_start_s_ = now_s;
+  };
+
   auto measure_completion = [&](const Request& req) {
+    TenantState& tenant = tenants_[static_cast<std::size_t>(req.tenant)];
     ++completed_total;
     ++disposed;
-    if (req.id >= config_.warmup_requests) {
+    if (req.tenant_seq >= tenant.spec.warmup_requests) {
       ++completed_measured;
       latency.add(req.latency_s());
       latency_mean.add(req.latency_s());
       wait_mean.add(req.wait_s());
+      ++tenant.completed_measured;
+      tenant.latency.add(req.latency_s());
+      tenant.latency_mean.add(req.latency_s());
+      tenant.wait_mean.add(req.wait_s());
+      const double limit = tenant.spec.qos_p99_limit.value();
+      if (limit > 0.0 && req.latency_s() > limit) ++tenant.sla_violations;
     }
-    if (governed) epoch_latencies.push_back(req.latency_s());
   };
+  const std::function<void(const Request&)> completion_sink = measure_completion;
 
   // One dispatch attempt at event time `event_s` (arrival or back-off
-  // expiry): admit into the picked server's queue, or back the client
-  // off, or shed once the retry budget is spent.
+  // expiry): admit into the picked chip's queue, or back the client off,
+  // or shed once the retry budget is spent.
   auto dispatch = [&](Request req, double event_s) {
-    req.server = pick_server();
+    req.server = pick_server(req, now_s);
     if (admission_.admit(outstanding(req.server), cores_per_server())) {
-      servers_[static_cast<std::size_t>(req.server)].queue.push_back(req);
+      chips_[static_cast<std::size_t>(req.server)]->queue().push_back(req);
       ++admitted;
       return;
     }
@@ -211,98 +269,20 @@ FleetResult ClusterFleet::run() {
     }
     ++shed;
     ++disposed;
+    ++tenants_[static_cast<std::size_t>(req.tenant)].shed;
   };
 
-  // Close the running epoch: record it, charge its energy, and (unless
-  // this is the final partial epoch) ask the governor for the next
-  // frequency, charging the transition as a service stall.
-  auto close_epoch = [&](bool final_partial) {
-    const double duration = now_s - epoch_start_s;
-    // A zero-length final epoch still gets a record when it carries a
-    // pending transition stall, so stalls always tile into the span.
-    if (duration <= 0.0 && pending_transition_s <= 0.0) return;
-
-    ctrl::EpochRecord rec;
-    rec.epoch = epoch_index;
-    rec.duration = Second{duration};
-    rec.utilization = duration > 0.0
-                          ? epoch_busy_core_seconds /
-                                (duration * static_cast<double>(total_cores))
-                          : 0.0;
-    rec.transition = epoch_began_with_transition;
-    rec.transition_time = Second{pending_transition_s};
-    rec.boosted = governor_->boosted();
-
-    double p99 = 0.0;
-    if (!epoch_latencies.empty()) {
-      std::sort(epoch_latencies.begin(), epoch_latencies.end());
-      auto rank = static_cast<std::size_t>(
-          std::ceil(0.99 * static_cast<double>(epoch_latencies.size())));
-      rank = std::max<std::size_t>(rank, 1);
-      p99 = epoch_latencies[std::min(rank, epoch_latencies.size()) - 1];
-    }
-    rec.p99 = Second{p99};
-
-    const bool sleeps = governor_->sleeps_when_idle();
-    double duty_sum = 0.0;
-    double epoch_energy = 0.0;
-    for (auto& server : servers_) {
-      const double duty =
-          sleeps && duration > 0.0
-              ? std::min(1.0, server.epoch_active_seconds / duration)
-              : (duration > 0.0 ? 1.0 : 0.0);
-      duty_sum += duty;
-      epoch_energy +=
-          governor_->epoch_energy(*manager_, f_cur, duty, Second{duration}).value();
-      server.epoch_active_seconds = 0.0;
-    }
-    energy_j += epoch_energy;
-
-    rec.decision.frequency = f_cur;
-    rec.decision.duty = duty_sum / static_cast<double>(config_.servers);
-    rec.decision.sleeps = sleeps && rec.decision.duty < 1.0;
-    rec.decision.avg_power =
-        duration > 0.0 ? Watt{epoch_energy / duration} : Watt{0.0};
-    const double limit = config_.governor.qos_p99_limit.value();
-    rec.violation = limit > 0.0 && p99 > limit && !rec.transition;
-    rec.decision.met_demand = !rec.violation;
-    if (rec.violation) ++violations;
-    if (rec.transition) ++transition_epochs;
-
-    freq_seconds += f_cur.value() * duration;
-    governed_seconds += duration;
-
-    epoch_began_with_transition = false;
-    pending_transition_s = 0.0;
-    if (!final_partial) {
-      ctrl::EpochObservation obs;
-      obs.epoch = epoch_index;
-      obs.frequency = f_cur;
-      obs.utilization = rec.utilization;
-      obs.completions = epoch_latencies.size();
-      obs.p99 = Second{p99};
-      const Hertz f_next = governor_->decide(obs);
-      if (f_next != f_cur) {
-        const Second t_trans = governor_->transition_time(f_cur, f_next);
-        // The switch stalls service: time passes, queues build, and the
-        // ramp itself burns active power at the target point.
-        now_s += t_trans.value();
-        energy_j += governor_->epoch_energy(*manager_, f_next, 1.0, t_trans).value() *
-                    static_cast<double>(config_.servers);
-        total_transition += t_trans;
-        pending_transition_s = t_trans.value();
-        set_frequency(f_next);
-        f_cur = f_next;
-        ++transitions;
-        epoch_began_with_transition = true;
+  // Earliest pending arrival across tenants; tenants_.size() when none.
+  auto next_arrival_tenant = [&]() -> std::size_t {
+    std::size_t best = tenants_.size();
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      if (tenants_[t].offered >= tenants_[t].total) continue;
+      if (best == tenants_.size() ||
+          tenants_[t].next_arrival_s < tenants_[best].next_arrival_s) {
+        best = t;
       }
     }
-
-    epoch_records.push_back(std::move(rec));
-    ++epoch_index;
-    epoch_latencies.clear();
-    epoch_busy_core_seconds = 0.0;
-    epoch_start_s = now_s;
+    return best;
   };
 
   while (disposed < total) {
@@ -310,23 +290,33 @@ FleetResult ClusterFleet::run() {
       truncated = true;
       break;
     }
-    if (governed && now_s >= epoch_start_s + epoch_len_s) close_epoch(false);
+    if (governed_ && now_s >= epoch_start_s_ + epoch_len_s) close_epochs(false);
 
-    // Admit everything due by `now_s`: merge the arrival stream and the
-    // back-off heap in event-time order (ties go to the fresh arrival, so
-    // ids stay in admission order).
+    // Admit everything due by `now_s`: merge the tenants' arrival streams
+    // and the back-off heap in event-time order (ties go to the fresh
+    // arrival, then to the lower tenant index, so ids stay in admission
+    // order).
     for (;;) {
-      const bool arrival_due = offered < total && next_arrival_s <= now_s;
+      const std::size_t t = next_arrival_tenant();
+      const bool arrival_due =
+          t < tenants_.size() && tenants_[t].next_arrival_s <= now_s;
       const bool retry_due = !retries_.empty() && retries_.top().due_s <= now_s;
       if (!arrival_due && !retry_due) break;
-      if (arrival_due && (!retry_due || next_arrival_s <= retries_.top().due_s)) {
+      if (arrival_due &&
+          (!retry_due || tenants_[t].next_arrival_s <= retries_.top().due_s)) {
+        TenantState& tenant = tenants_[t];
         Request req;
-        req.id = offered;
-        req.arrival_s = next_arrival_s;
-        req.budget = budgets_.sample(req.id);
-        last_arrival_s = next_arrival_s;
+        req.id = next_id++;
+        req.tenant = static_cast<int>(t);
+        req.tenant_seq = tenant.offered;
+        req.arrival_s = tenant.next_arrival_s;
+        req.budget = tenant.budgets->sample(req.tenant_seq);
+        last_arrival_s = std::max(last_arrival_s, tenant.next_arrival_s);
+        ++tenant.offered;
         ++offered;
-        if (offered < total) next_arrival_s = arrivals_.next().value();
+        if (tenant.offered < tenant.total) {
+          tenant.next_arrival_s = tenant.arrivals->next().value();
+        }
         dispatch(req, req.arrival_s);
       } else {
         const RetryEntry entry = retries_.top();
@@ -335,84 +325,45 @@ FleetResult ClusterFleet::run() {
       }
     }
 
-    for (auto& server : servers_) start_services(server, now_s);
+    for (auto& chip : chips_) chip->start_services(now_s);
 
     if (!any_core_busy()) {
-      // Whole fleet idle: every server would sleep, so jump straight to
-      // the next event — arrival or back-off expiry — on the cycle grid
-      // of the current frequency (the fleet-level analogue of event
-      // skipping; the skipped span is credited to sleep in the energy
-      // accounting). Governed runs additionally stop at the epoch
-      // boundary so the governor observes every epoch, idle or not.
+      // Whole fleet idle: every chip would sleep, so jump straight to the
+      // next event — arrival, back-off expiry, or a stalled chip's
+      // transition end when it has queued work — on the base-frequency
+      // cycle grid (the fleet-level analogue of event skipping; the
+      // skipped span is credited to sleep in the energy accounting).
+      // Governed runs additionally stop at the epoch boundary so every
+      // chip's governor observes every epoch, idle or not.
       double next_event = std::numeric_limits<double>::infinity();
-      if (offered < total) next_event = next_arrival_s;
+      for (const auto& tenant : tenants_) {
+        if (tenant.offered < tenant.total) {
+          next_event = std::min(next_event, tenant.next_arrival_s);
+        }
+      }
       if (!retries_.empty()) next_event = std::min(next_event, retries_.top().due_s);
+      for (const auto& chip : chips_) {
+        if (chip->in_transition(now_s) && !chip->queue().empty()) {
+          next_event = std::min(next_event, chip->stall_until());
+        }
+      }
       NTSERV_EXPECTS(std::isfinite(next_event),
                      "idle fleet with requests unaccounted for");
-      const double fv = f_cur.value();
-      double target = std::max(now_s + 1.0 / fv,
-                               std::ceil(next_event * fv) / fv);
-      if (governed) target = std::min(target, epoch_start_s + epoch_len_s);
+      double target = std::max(now_s + 1.0 / base_f,
+                               std::ceil(next_event * base_f) / base_f);
+      if (governed_) target = std::min(target, epoch_start_s_ + epoch_len_s);
       now_s = std::min(target, max_s);
       continue;
     }
 
-    const double dt = static_cast<double>(q) / f_cur.value();
-    for (auto& server : servers_) {
-      if (server.busy_cores == 0) continue;  // idle server stays asleep
-      for (auto& slot : server.slots) {
-        if (slot.busy) {
-          slot.committed_at_quantum_start =
-              server.cluster->user_committed_on(slot.request.core);
-        }
-      }
-      server.cluster->run(q);
-      server.active_seconds += dt;
-      server.epoch_active_seconds += dt;
-      const double busy_dt = static_cast<double>(server.busy_cores) * dt;
-      server.busy_core_seconds += busy_dt;
-      epoch_busy_core_seconds += busy_dt;
-
-      for (auto& slot : server.slots) {
-        while (slot.busy) {
-          const std::uint64_t committed =
-              server.cluster->user_committed_on(slot.request.core);
-          if (committed < slot.target_user_committed) break;
-          // Interpolate the completion inside the quantum from the commit
-          // overshoot, so latency error is O(1) instructions, not O(quantum).
-          const std::uint64_t progressed =
-              committed - slot.committed_at_quantum_start;
-          const std::uint64_t needed =
-              slot.target_user_committed - slot.committed_at_quantum_start;
-          const double frac =
-              progressed > 0
-                  ? static_cast<double>(needed) / static_cast<double>(progressed)
-                  : 1.0;
-          slot.request.completion_s = now_s + frac * dt;
-          measure_completion(slot.request);
-          if (!server.queue.empty()) {
-            // Back-to-back service: the next queued request starts at the
-            // interpolated completion instant, and the instructions the
-            // core has already committed past the old target count toward
-            // it — no quantum of capacity is lost between requests.
-            Request next = server.queue.front();
-            server.queue.pop_front();
-            next.core = slot.request.core;
-            next.start_s = slot.request.completion_s;
-            slot.target_user_committed += next.budget;
-            slot.request = next;
-            continue;  // the overshoot may already cover the next budget
-          }
-          slot.busy = false;
-          --server.busy_cores;
-          break;
-        }
-      }
+    for (auto& chip : chips_) {
+      if (chip->in_transition(now_s)) continue;  // voltage domain mid-swing
+      chip->advance(now_s, dt, q, completion_sink);
     }
     now_s += dt;
   }
 
-  if (governed) close_epoch(true);
+  if (governed_) close_epochs(true);
 
   FleetResult r;
   r.workload = config_.profile.name;
@@ -423,6 +374,7 @@ FleetResult ClusterFleet::run() {
   r.retries = retry_count;
   r.shed = shed;
   r.shed_rate = offered > 0 ? static_cast<double>(shed) / static_cast<double>(offered) : 0.0;
+  r.steered = steered_;
   r.truncated = truncated;
   r.span_seconds = Second{now_s};
   r.span_cycles = static_cast<Cycle>(std::llround(now_s * base_f));
@@ -440,10 +392,13 @@ FleetResult ClusterFleet::run() {
     r.throughput = static_cast<double>(completed_total) / now_s;
   }
   double busy_core_seconds = 0.0;
-  r.server_active_fraction.reserve(servers_.size());
-  for (const auto& server : servers_) {
-    busy_core_seconds += server.busy_core_seconds;
-    r.server_active_fraction.push_back(now_s > 0.0 ? server.active_seconds / now_s : 0.0);
+  double freq_seconds = 0.0, governed_seconds = 0.0;
+  r.server_active_fraction.reserve(chips_.size());
+  for (const auto& chip : chips_) {
+    busy_core_seconds += chip->busy_core_seconds();
+    freq_seconds += chip->freq_seconds();
+    governed_seconds += chip->governed_seconds();
+    r.server_active_fraction.push_back(now_s > 0.0 ? chip->active_seconds() / now_s : 0.0);
   }
   if (now_s > 0.0) {
     r.utilization = busy_core_seconds / (now_s * static_cast<double>(total_cores));
@@ -455,6 +410,37 @@ FleetResult ClusterFleet::run() {
   r.transition_epochs = transition_epochs;
   r.qos_violation_epochs = violations;
   r.epochs = std::move(epoch_records);
+
+  r.tenants.reserve(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantState& state = tenants_[t];
+    TenantResult tr;
+    tr.name = state.spec.name;
+    tr.completed = state.completed_measured;
+    tr.offered = state.offered;
+    tr.shed = state.shed;
+    tr.shed_rate = state.offered > 0
+                       ? static_cast<double>(state.shed) / static_cast<double>(state.offered)
+                       : 0.0;
+    if (state.latency.count() > 0) {
+      tr.mean_latency = Second{state.latency_mean.mean()};
+      tr.p50 = Second{state.latency.p50()};
+      tr.p95 = Second{state.latency.p95()};
+      tr.p99 = Second{state.latency.p99()};
+      tr.mean_wait = Second{state.wait_mean.mean()};
+    }
+    tr.sla_violations = state.sla_violations;
+    for (const auto& chip : chips_) {
+      tr.busy_core_seconds += chip->tenant_busy_seconds(static_cast<int>(t));
+    }
+    tr.busy_share =
+        busy_core_seconds > 0.0 ? tr.busy_core_seconds / busy_core_seconds : 0.0;
+    // Energy attribution by occupied core time: the tenant that kept the
+    // cores busy carries the matching share of the envelope energy
+    // (idle/sleep overhead rides along proportionally).
+    tr.energy = Joule{energy_j * tr.busy_share};
+    r.tenants.push_back(std::move(tr));
+  }
   return r;
 }
 

@@ -1,11 +1,12 @@
-// Request-level serving on a fleet of simulated clusters.
+// Request-level serving on a fleet of simulated multi-cluster chips.
 //
 // The analytic QoS path (src/qos) scales a measured baseline p99 by the
 // UIPS ratio; nothing ever queues. This module instead *runs* requests:
 // open-loop arrivals (dc/arrival.hpp) are dispatched by a load-balancing
-// policy onto the cores of N independent sim::Cluster instances, and each
-// request's service is the time its core takes to commit its budget of
-// user instructions (paper Sec. V-A: constant by default; src/ctrl budget
+// policy onto the cores of N ChipServer instances (dc/chip.hpp) — each a
+// multi-cluster chip behind one power envelope — and each request's
+// service is the time its core takes to commit its budget of user
+// instructions (paper Sec. V-A: constant by default; src/ctrl budget
 // distributions for heterogeneous populations). Tail latency is then a
 // *measurement* over completed requests, so queueing, burstiness and
 // load-balancing effects show up in the p99 exactly as they would on
@@ -13,70 +14,115 @@
 // on a contention-free scenario.
 //
 // On top of the open-loop dispatch, the runtime-control layer (src/ctrl)
-// closes the loop *inside* the run: an epoch-based governor observes
-// measured utilization and measured epoch p99 and retunes the fleet's
-// DVFS point (charging physical transition costs), and an admission
-// controller sheds or backs off clients when queues saturate. The master
-// clock is therefore wall seconds — core cycles stop being comparable
-// across epochs once the frequency moves.
+// closes the loop *inside* the run — now per chip: every chip carries its
+// own ctrl::FleetGovernor instance, observes its own epoch utilization
+// and tail, and retunes its own frequency (paying the shared transition
+// stall that pauses all of its clusters), so chips drift apart under
+// asymmetric load. The governor-aware balance policy exploits exactly
+// that: it peeks at each chip's pending epoch decision and steers
+// latency-critical requests away from chips about to descend.
+//
+// Consolidation: a fleet can serve several tenants (co-located scenarios)
+// at once — each tenant brings its own arrival process, budget
+// distribution, QoS bound and steering class, and FleetResult reports
+// per-tenant percentiles, shed rates and an energy attribution.
 //
 // The fleet simulation is deliberately single-threaded per scenario —
-// dispatch decisions depend on completion order, so intra-fleet parallelism
-// would be order-dependent. Parallel fan-out happens one level up
-// (dc/scenario.hpp, dse::sweep_measured_qos, dse::sweep_governors) across
-// independent scenarios, governors and frequency points, which keeps every
-// result bit-identical for any NTSERV_THREADS.
+// dispatch decisions depend on completion order, so intra-fleet
+// parallelism would be order-dependent. Parallel fan-out happens one
+// level up (dc/scenario.hpp, dse::sweep_measured_qos, sweep_governors,
+// sweep_consolidation) across independent scenarios, governors and
+// operating points, which keeps every result bit-identical for any
+// NTSERV_THREADS.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/units.hpp"
 #include "ctrl/admission.hpp"
 #include "ctrl/budget.hpp"
 #include "ctrl/governor.hpp"
 #include "dc/arrival.hpp"
+#include "dc/chip.hpp"
 #include "dc/latency_stats.hpp"
 #include "pm/power_manager.hpp"
-#include "sim/cluster.hpp"
 #include "workload/profile.hpp"
 
 namespace ntserv::dc {
 
-/// Per-request lifecycle record, in wall seconds (fractional: completions
-/// are interpolated inside the advance quantum).
-struct Request {
-  std::uint64_t id = 0;
-  double arrival_s = 0.0;     ///< first offered (back-off does not reset it)
-  double start_s = 0.0;       ///< service began on a core
-  double completion_s = 0.0;
-  std::uint64_t budget = 0;   ///< user-instruction cost (ctrl::BudgetSampler)
-  int attempts = 0;           ///< admission rejections suffered so far
-  int server = -1;
-  int core = -1;
-
-  [[nodiscard]] double latency_s() const { return completion_s - arrival_s; }
-  [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
-};
-
 enum class BalancePolicy {
-  kRoundRobin,   ///< servers in cyclic order
-  kLeastLoaded,  ///< fewest outstanding requests (queued + in service)
-  kPowerAware,   ///< pack onto low-index servers so the tail can sleep
+  kRoundRobin,     ///< chips in cyclic order
+  kLeastLoaded,    ///< fewest outstanding requests (queued + in service)
+  kPowerAware,     ///< pack onto low-index chips so the tail can sleep
+  kGovernorAware,  ///< least-loaded, steering latency-critical requests
+                   ///< away from chips mid-transition or about to descend
 };
 
 [[nodiscard]] const char* to_string(BalancePolicy p);
+
+/// One co-located traffic class: its own arrivals, budgets, QoS bound and
+/// steering class. A single-tenant fleet is the degenerate case (the
+/// legacy FleetConfig fields are normalized into one TenantSpec).
+struct TenantSpec {
+  std::string name = "default";
+  ArrivalConfig arrival;
+  /// Per-request instruction budget; budget.mean == 0 inherits
+  /// user_instructions_per_request.
+  ctrl::BudgetConfig budget;
+  std::uint64_t user_instructions_per_request = 8'000;
+  /// Steering class for BalancePolicy::kGovernorAware: latency-critical
+  /// tenants avoid descending chips, batch tenants soak them.
+  bool latency_critical = true;
+  /// Per-tenant p99 bound in simulated time (0 = unbounded / batch).
+  /// Reported against the measured per-tenant p99; also the bound the
+  /// consolidation sweeps (dse::sweep_consolidation) size fleets against.
+  Second qos_p99_limit{0.0};
+  std::uint64_t requests = 400;
+  std::uint64_t warmup_requests = 40;
+
+  void validate() const;
+  [[nodiscard]] ctrl::BudgetConfig resolved_budget() const;
+};
+
+/// Per-tenant slice of a fleet run.
+struct TenantResult {
+  std::string name;
+  std::uint64_t completed = 0;  ///< measured completions
+  std::uint64_t offered = 0;
+  std::uint64_t shed = 0;
+  double shed_rate = 0.0;
+  Second mean_latency{0.0};
+  Second p50{0.0};
+  Second p95{0.0};
+  Second p99{0.0};
+  Second mean_wait{0.0};
+  /// Measured completions whose latency exceeded the tenant's
+  /// qos_p99_limit (0 when the tenant is unbounded).
+  std::uint64_t sla_violations = 0;
+  /// Core time this tenant occupied, and its share of all occupied time.
+  double busy_core_seconds = 0.0;
+  double busy_share = 0.0;
+  /// Energy attribution: the governed fleet energy split by busy-core
+  /// time (idle/sleep overhead is attributed proportionally with it).
+  /// Zero for open-loop runs — attribute dc::fleet_energy by busy_share.
+  Joule energy{0.0};
+};
 
 struct FleetConfig {
   sim::ClusterConfig cluster;
   workload::WorkloadProfile profile;
   Hertz frequency{2e9};
+  /// Fleet shape: `servers` chips, each aggregating `clusters_per_chip`
+  /// sim::Cluster instances behind one envelope (paper Sec. II-B's
+  /// scale-out chip; 1 reproduces the old one-cluster-per-server fleet).
   int servers = 2;
+  int clusters_per_chip = 1;
   /// The constant user-instruction cost of one request (paper Sec. V-A);
   /// the mean when `budget` selects a distribution.
   std::uint64_t user_instructions_per_request = 8'000;
@@ -86,21 +132,27 @@ struct FleetConfig {
   /// Saturation control: queue-depth admission with client back-off.
   ctrl::AdmissionConfig admission;
   /// Closed-loop DVFS control; kind == kNone runs open loop at
-  /// `frequency` with no epoch machinery.
+  /// `frequency` with no epoch machinery. Governed fleets instantiate
+  /// one governor per chip (per-chip DVFS).
   ctrl::GovernorConfig governor;
   BalancePolicy policy = BalancePolicy::kLeastLoaded;
   ArrivalConfig arrival;
+  /// Co-located tenants. Empty means single-tenant: the legacy fields
+  /// (arrival, budget, requests, warmup_requests, ...) form tenant 0.
+  std::vector<TenantSpec> tenants;
   /// Measured completions (after warmup_requests unmeasured ones) when
   /// nothing is shed; with admission control, offered requests beyond the
   /// warmup ids that get shed reduce the measured count.
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
   std::uint64_t seed = 1;
-  /// Simulation step between dispatch/completion checks, in core cycles.
-  /// Completions are interpolated within the quantum, so the measured
-  /// latency error is O(quantum / service_cycles).
+  /// Simulation step between dispatch/completion checks, in cycles of the
+  /// base `frequency` (the master clock; per-chip DVFS scales the cycles
+  /// a chip advances per quantum). Completions are interpolated within
+  /// the quantum, so the measured latency error is O(quantum /
+  /// service_cycles).
   Cycle quantum = 64;
-  /// Per-server architectural cache warming before any request is timed
+  /// Per-cluster architectural cache warming before any request is timed
   /// (cluster-aggregate committed instructions, same convention as the
   /// SMARTS warm phase — keeping the two paths' warmth comparable is what
   /// makes the measured-vs-analytic cross-check meaningful).
@@ -109,14 +161,16 @@ struct FleetConfig {
   /// Safety stop for saturated scenarios (arrival rate > service rate),
   /// in cycles of the configured base `frequency`.
   Cycle max_cycles = 400'000'000;
-  /// Power-aware packing bound: a server accepts new work while its
+  /// Power-aware packing bound: a chip accepts new work while its
   /// outstanding count is below depth_per_core * cores.
   double pack_depth_per_core = 2.0;
 
   void validate() const;
 
-  /// Budget config with the inherit sentinel resolved.
-  [[nodiscard]] ctrl::BudgetConfig resolved_budget() const;
+  /// The tenant table the fleet actually runs: `tenants` verbatim, or the
+  /// legacy single-tenant fields normalized into one entry (budget
+  /// inheritance is resolved per tenant via TenantSpec::resolved_budget).
+  [[nodiscard]] std::vector<TenantSpec> resolved_tenants() const;
 };
 
 /// Aggregate outcome of one fleet run.
@@ -129,6 +183,9 @@ struct FleetResult {
   std::uint64_t retries = 0;          ///< rejected attempts that backed off
   std::uint64_t shed = 0;             ///< requests dropped after the retry budget
   double shed_rate = 0.0;             ///< shed / offered
+  /// Dispatches the governor-aware policy redirected away from the plain
+  /// least-loaded choice (0 under the other policies).
+  std::uint64_t steered = 0;
   bool truncated = false;             ///< hit max_cycles before completing
   Second mean_latency{0.0};
   Second p50{0.0};
@@ -138,23 +195,27 @@ struct FleetResult {
   double offered_rate = 0.0;          ///< arrivals/s over the run
   double throughput = 0.0;            ///< completions/s over the span (warmup included)
   double utilization = 0.0;           ///< busy-core fraction over the span
-  /// Per-server fraction of the span with at least one busy core (the
-  /// power-model duty cycle: idle servers sit in RBB sleep).
+  /// Per-chip fraction of the span with at least one busy core (the
+  /// power-model duty cycle: idle chips sit in RBB sleep).
   std::vector<double> server_active_fraction;
   Cycle span_cycles = 0;              ///< span in base-frequency cycle equivalents
   Second span_seconds{0.0};
+  /// Per-tenant slices (one entry per resolved tenant, in config order).
+  std::vector<TenantResult> tenants;
 
   // ---- Closed-loop outcome (zero/empty when governor.kind == kNone) ----
   Joule energy{0.0};                  ///< governor-accounted fleet energy
-  double avg_frequency_ghz = 0.0;     ///< time-weighted over epochs
-  int transitions = 0;                ///< frequency changes charged
-  Second transition_time_total{0.0};  ///< service stalled in DVFS/bias swings
-  int transition_epochs = 0;          ///< epochs beginning with a change
-  int qos_violation_epochs = 0;       ///< p99 over limit outside transition epochs
+  double avg_frequency_ghz = 0.0;     ///< time-weighted over chips and epochs
+  int transitions = 0;                ///< per-chip frequency changes charged
+  Second transition_time_total{0.0};  ///< summed per-chip DVFS/bias stalls
+  int transition_epochs = 0;          ///< chip-epochs beginning with a change
+  int qos_violation_epochs = 0;       ///< chip-epochs with p99 over limit, non-transition
+  /// Per-chip epoch trajectory, boundary-major then chip-minor (record
+  /// `.chip` identifies the chip; each chip's durations tile the span).
   std::vector<ctrl::EpochRecord> epochs;
 };
 
-/// N independent sim::Cluster instances behind one dispatcher.
+/// N ChipServer instances behind one dispatcher.
 class ClusterFleet {
  public:
   explicit ClusterFleet(FleetConfig config);
@@ -163,10 +224,12 @@ class ClusterFleet {
   ClusterFleet& operator=(const ClusterFleet&) = delete;
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
-  [[nodiscard]] int servers() const { return static_cast<int>(servers_.size()); }
-  [[nodiscard]] int cores_per_server() const { return config_.cluster.hierarchy.cores; }
+  [[nodiscard]] int servers() const { return static_cast<int>(chips_.size()); }
+  [[nodiscard]] int cores_per_server() const {
+    return config_.clusters_per_chip * config_.cluster.hierarchy.cores;
+  }
 
-  /// Queued + in-service requests on server `s`.
+  /// Queued + in-service requests on chip `s`.
   [[nodiscard]] int outstanding(int s) const;
 
   /// Drive arrivals until every offered request is completed or shed (or
@@ -176,21 +239,20 @@ class ClusterFleet {
   [[nodiscard]] FleetResult run();
 
  private:
-  struct CoreSlot {
-    bool busy = false;
-    std::uint64_t target_user_committed = 0;
-    std::uint64_t committed_at_quantum_start = 0;
-    Request request;
-  };
-
-  struct Server {
-    std::unique_ptr<sim::Cluster> cluster;
-    std::deque<Request> queue;
-    std::vector<CoreSlot> slots;
-    double busy_core_seconds = 0.0;
-    double active_seconds = 0.0;        ///< time with >= 1 busy core
-    double epoch_active_seconds = 0.0;  ///< same, within the current epoch
-    int busy_cores = 0;
+  /// One tenant's generators and running measurement.
+  struct TenantState {
+    TenantSpec spec;
+    std::unique_ptr<ArrivalProcess> arrivals;
+    std::unique_ptr<ctrl::BudgetSampler> budgets;
+    double next_arrival_s = 0.0;
+    std::uint64_t total = 0;  ///< requests + warmup_requests
+    std::uint64_t offered = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed_measured = 0;
+    std::uint64_t sla_violations = 0;
+    StreamingPercentiles latency;
+    RunningStats latency_mean;
+    RunningStats wait_mean;
   };
 
   /// A client waiting out its back-off before the next dispatch attempt.
@@ -203,29 +265,32 @@ class ClusterFleet {
     }
   };
 
-  [[nodiscard]] int pick_server();
-  void start_services(Server& server, double now_s);
+  [[nodiscard]] int pick_server(const Request& req, double now_s);
+  [[nodiscard]] int least_loaded() const;
   [[nodiscard]] bool any_core_busy() const;
-  void set_frequency(Hertz f);
 
   FleetConfig config_;
-  ArrivalProcess arrivals_;
-  ctrl::BudgetSampler budgets_;
+  std::vector<TenantState> tenants_;
   ctrl::AdmissionController admission_;
-  /// Present only when governed (kind != kNone); the governor holds a
-  /// reference into the manager, so declaration order matters.
+  /// Present only when governed (kind != kNone); every chip's governor
+  /// holds a reference into the manager, so declaration order matters.
   std::unique_ptr<pm::PowerManager> manager_;
-  std::unique_ptr<ctrl::FleetGovernor> governor_;
-  std::vector<Server> servers_;
+  std::vector<std::unique_ptr<ChipServer>> chips_;
   std::priority_queue<RetryEntry, std::vector<RetryEntry>, std::greater<>> retries_;
   int round_robin_next_ = 0;
+  bool governed_ = false;
+  std::uint64_t steered_ = 0;
+  // Epoch window the governor-aware peeks read (set during run()).
+  double epoch_start_s_ = 0.0;
+  double peek_window_s_ = 0.0;
 };
 
-/// Server energy over a fleet run's span: each server runs at the
+/// Server energy over a fleet run's span: each chip runs at the
 /// pm::PowerManager's active power for its active fraction and sits in
 /// RBB sleep for the remainder (the paper's energy-proportionality story
 /// applied to measured duty cycles). For governed runs prefer
-/// FleetResult::energy, which charges each epoch at its own frequency.
+/// FleetResult::energy, which charges each chip-epoch at its own
+/// frequency.
 [[nodiscard]] Joule fleet_energy(const FleetResult& result, const pm::PowerManager& manager,
                                  Hertz frequency);
 

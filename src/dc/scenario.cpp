@@ -28,16 +28,37 @@ FleetConfig Scenario::fleet_config(Hertz f) const {
   cfg.profile = workload::WorkloadProfile::for_name(workload);
   cfg.frequency = f;
   cfg.servers = servers;
+  cfg.clusters_per_chip = clusters_per_chip;
   cfg.user_instructions_per_request = user_instructions_per_request;
   cfg.budget = budget;
   cfg.admission = admission;
   cfg.governor = governor;
   cfg.policy = policy;
   cfg.arrival = arrival;
+  cfg.tenants = tenants;
   cfg.requests = requests;
   cfg.warmup_requests = warmup_requests;
+  cfg.warm_instructions = warm_instructions;
   cfg.seed = seed;
   return cfg;
+}
+
+Scenario Scenario::dedicated(std::size_t t) const {
+  NTSERV_EXPECTS(t < tenants.size(), "dedicated() needs a consolidated scenario");
+  Scenario s = *this;
+  const TenantSpec& spec = tenants[t];
+  s.name = name + "/" + spec.name;
+  s.description = "dedicated split of " + name + ": " + spec.name + " alone";
+  s.arrival = spec.arrival;
+  s.budget = spec.budget;
+  s.user_instructions_per_request = spec.user_instructions_per_request;
+  s.requests = spec.requests;
+  s.warmup_requests = spec.warmup_requests;
+  // Keep the tenant's identity (name, QoS bound, steering class) so the
+  // dedicated run reports the same per-tenant slice as the consolidated
+  // one — only the co-tenant is gone.
+  s.tenants = {spec};
+  return s;
 }
 
 std::vector<Scenario> Scenario::registry() {
@@ -226,6 +247,75 @@ std::vector<Scenario> Scenario::registry() {
     s.admission.backoff = microseconds(20.0);
     s.requests = 300;
     s.seed = 23;
+    all.push_back(s);
+  }
+  // ---- Cross-scenario consolidation on multi-cluster chips ----
+  {
+    // The statistical-multiplexing anchor: two latency-critical diurnal
+    // tenants peaking in *antiphase* share one 2-cluster chip. Each alone
+    // would keep a dedicated chip half-idle off-peak; together the crests
+    // interleave and one chip carries both at the same per-tenant p99
+    // bound — the consolidation claim bench/fig5_consolidation asserts.
+    // Per-chip NTC-boost governs the chip (1.7 us bias swings), and the
+    // governor-aware balancer steers around its boost releases.
+    Scenario s;
+    s.name = "consolidated-antiphase-search";
+    s.description = "2x Web Search diurnal in antiphase on one 2-cluster chip, NTC-boost";
+    s.workload = "Web Search";
+    s.policy = BalancePolicy::kGovernorAware;
+    s.servers = 1;
+    s.clusters_per_chip = 2;
+    s.governor.kind = ctrl::GovernorKind::kNtcBoost;
+    s.governor.epoch_quanta = 2048;  // ~65 us epochs at 2 GHz base
+    s.governor.qos_p99_limit = microseconds(90.0);
+    TenantSpec day;
+    day.name = "day-peak";
+    day.arrival.kind = ArrivalKind::kDiurnal;
+    day.arrival.rate = rate_for_load(0.5, 1, 2 * cores, 8'000);
+    day.arrival.diurnal_trough = 0.1;
+    day.arrival.diurnal_period = Second{2e-3};
+    day.qos_p99_limit = microseconds(90.0);
+    day.requests = 500;
+    TenantSpec night = day;
+    night.name = "night-peak";
+    night.arrival.diurnal_phase = 0.5;
+    s.tenants = {day, night};
+    s.seed = 25;
+    all.push_back(s);
+  }
+  {
+    // Latency-critical interactive traffic consolidated with a batch
+    // tenant (lognormal budgets, no latency bound) on two 2-cluster
+    // chips under per-chip ondemand DVFS: the governor descends on the
+    // diurnal trough, and the governor-aware balancer steers interactive
+    // requests away from descending chips while batch work soaks them.
+    Scenario s;
+    s.name = "consolidated-web-batch";
+    s.description = "Web Serving diurnal + batch tenant on two 2-cluster chips, ondemand";
+    s.workload = "Web Serving";
+    s.policy = BalancePolicy::kGovernorAware;
+    s.servers = 2;
+    s.clusters_per_chip = 2;
+    s.governor.kind = ctrl::GovernorKind::kOndemandDvfs;
+    s.governor.epoch_quanta = 2048;
+    TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.arrival.kind = ArrivalKind::kDiurnal;
+    interactive.arrival.rate = rate_for_load(0.45, 2, 2 * cores, 8'000);
+    interactive.arrival.diurnal_trough = 0.15;
+    interactive.arrival.diurnal_period = Second{2e-3};
+    interactive.qos_p99_limit = microseconds(150.0);
+    interactive.requests = 500;
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.arrival.kind = ArrivalKind::kPoisson;
+    batch.arrival.rate = rate_for_load(0.25, 2, 2 * cores, 8'000);
+    batch.budget.kind = ctrl::BudgetKind::kLognormal;
+    batch.budget.sigma = 0.7;
+    batch.latency_critical = false;
+    batch.requests = 300;
+    s.tenants = {interactive, batch};
+    s.seed = 26;
     all.push_back(s);
   }
   {

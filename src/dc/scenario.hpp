@@ -24,7 +24,10 @@ struct Scenario {
   std::string workload;
   ArrivalConfig arrival;
   BalancePolicy policy = BalancePolicy::kLeastLoaded;
+  /// Fleet shape: `servers` chips of `clusters_per_chip` clusters each
+  /// (1 reproduces the old one-cluster-per-server fleet).
   int servers = 2;
+  int clusters_per_chip = 1;
   std::uint64_t user_instructions_per_request = 8'000;
   /// Runtime-control knobs (src/ctrl): per-request budget distribution,
   /// saturation admission control, closed-loop DVFS governor. Defaults
@@ -32,13 +35,26 @@ struct Scenario {
   ctrl::BudgetConfig budget;
   ctrl::AdmissionConfig admission;
   ctrl::GovernorConfig governor;
+  /// Co-located tenants (cross-scenario consolidation). Empty means
+  /// single-tenant from the legacy fields above. All tenants share the
+  /// chips' workload class (one binary per chip); they differ in
+  /// arrivals, budgets, QoS bounds and steering class.
+  std::vector<TenantSpec> tenants;
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
+  /// Per-cluster architectural warm budget (FleetConfig::warm_instructions);
+  /// tests trim it for turnaround.
+  std::uint64_t warm_instructions = 600'000;
   std::uint64_t seed = 1;
 
   /// Expand into a runnable FleetConfig at frequency `f` (default cluster
   /// and platform parameters; override fields on the result if needed).
   [[nodiscard]] FleetConfig fleet_config(Hertz f) const;
+
+  /// The dedicated-fleet split of a consolidated scenario: tenant `t`
+  /// alone on an identically shaped fleet (the consolidation studies'
+  /// baseline). Throws if the scenario has no tenant table.
+  [[nodiscard]] Scenario dedicated(std::size_t t) const;
 
   /// The full scenario catalog (see docs/datacenter.md for the tour).
   static std::vector<Scenario> registry();

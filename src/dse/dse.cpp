@@ -228,6 +228,84 @@ double energy_proportionality(const SweepResult& sweep, Scope scope) {
   return (1.0 - power_ratio) / (1.0 - load_ratio);
 }
 
+bool ConsolidationSweep::meets(const dc::FleetResult& result, std::size_t t) const {
+  if (result.truncated) return false;
+  // Resolve the slice by name: a dedicated split carries its tenant at
+  // slice 0 whatever its index in the consolidated table.
+  const std::string& name = tenant_names.at(t);
+  const dc::TenantResult* tenant = nullptr;
+  for (const auto& tr : result.tenants) {
+    if (tr.name == name) tenant = &tr;
+  }
+  if (tenant == nullptr || tenant->shed > 0 || tenant->completed == 0) return false;
+  const double bound = tenant_bounds.at(t).value();
+  return bound <= 0.0 || tenant->p99.value() <= bound;
+}
+
+int ConsolidationSweep::min_consolidated_chips() const {
+  int best = -1;
+  for (const auto& p : points) {
+    bool all = true;
+    for (std::size_t t = 0; t < tenant_names.size(); ++t) {
+      all = all && meets(p.consolidated, t);
+    }
+    if (all && (best < 0 || p.chips < best)) best = p.chips;
+  }
+  return best;
+}
+
+int ConsolidationSweep::min_dedicated_chips(std::size_t t) const {
+  int best = -1;
+  for (const auto& p : points) {
+    if (meets(p.dedicated.at(t), t) && (best < 0 || p.chips < best)) best = p.chips;
+  }
+  return best;
+}
+
+ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
+                                       const std::vector<int>& chip_counts, Hertz f) {
+  return sweep_consolidation(scenario, chip_counts, f,
+                             sim::ThreadPool::default_threads());
+}
+
+ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
+                                       const std::vector<int>& chip_counts, Hertz f,
+                                       int threads) {
+  NTSERV_EXPECTS(!chip_counts.empty(), "consolidation sweep needs chip counts");
+  NTSERV_EXPECTS(!scenario.tenants.empty(),
+                 "consolidation sweep needs a multi-tenant scenario");
+  ConsolidationSweep sweep;
+  sweep.scenario = scenario.name;
+  for (const auto& t : scenario.tenants) {
+    sweep.tenant_names.push_back(t.name);
+    sweep.tenant_bounds.push_back(t.qos_p99_limit);
+  }
+
+  const std::size_t tenants = scenario.tenants.size();
+  const std::size_t per_count = 1 + tenants;  // consolidated + each dedicated split
+  sweep.points.resize(chip_counts.size());
+  for (std::size_t i = 0; i < chip_counts.size(); ++i) {
+    NTSERV_EXPECTS(chip_counts[i] > 0, "chip counts must be positive");
+    sweep.points[i].chips = chip_counts[i];
+    sweep.points[i].dedicated.resize(tenants);
+  }
+
+  // Flatten every (chip count, consolidated-or-split) run into one task
+  // index space; each task is an independent seed-derived fleet.
+  sim::parallel_for_index(threads, chip_counts.size() * per_count, [&](std::size_t task) {
+    const std::size_t i = task / per_count;
+    const std::size_t j = task % per_count;
+    dc::Scenario s = j == 0 ? scenario : scenario.dedicated(j - 1);
+    s.servers = chip_counts[i];
+    if (j == 0) {
+      sweep.points[i].consolidated = dc::run_scenario(s, f);
+    } else {
+      sweep.points[i].dedicated[j - 1] = dc::run_scenario(s, f);
+    }
+  });
+  return sweep;
+}
+
 double consolidation_headroom(const SweepResult& sweep, const qos::QosTarget& target) {
   const double base = sweep.baseline_uips();
   const Hertz floor = qos::frequency_floor(target, sweep.uips_samples(), base);

@@ -172,4 +172,50 @@ struct GovernorSweep {
 [[nodiscard]] double consolidation_headroom(const SweepResult& sweep,
                                             const qos::QosTarget& target);
 
+// ---- Measured consolidation studies (multi-tenant chip fleets) ----
+
+/// One chip-count point of a consolidation study: the consolidated fleet
+/// (all tenants co-located on `chips` chips) next to each tenant served
+/// alone on an identically shaped dedicated fleet of `chips` chips.
+struct ConsolidationPoint {
+  int chips = 0;
+  dc::FleetResult consolidated;
+  std::vector<dc::FleetResult> dedicated;  ///< one per tenant, in tenant order
+};
+
+/// A measured chip-count sweep of one consolidated dc::Scenario: the data
+/// behind the paper's Sec. V-C consolidation argument, at the request
+/// level. A fleet "meets" a tenant when the run is untruncated, sheds
+/// nothing of that tenant, and its measured per-tenant p99 is within the
+/// tenant's qos_p99_limit (unbounded tenants only need completion).
+struct ConsolidationSweep {
+  std::string scenario;
+  std::vector<std::string> tenant_names;
+  std::vector<Second> tenant_bounds;      ///< per-tenant p99 bounds (0 = unbounded)
+  std::vector<ConsolidationPoint> points; ///< in the order of the requested counts
+
+  /// Whether tenant `t` (an index into tenant_names/tenant_bounds) meets
+  /// its bound in `result`; the slice is resolved by tenant name, so the
+  /// same index works for consolidated runs and dedicated splits.
+  [[nodiscard]] bool meets(const dc::FleetResult& result, std::size_t t) const;
+  /// Smallest swept chip count whose consolidated fleet meets *every*
+  /// tenant's bound; -1 when none does.
+  [[nodiscard]] int min_consolidated_chips() const;
+  /// Smallest swept chip count whose dedicated fleet for tenant `t` meets
+  /// that tenant's bound; -1 when none does.
+  [[nodiscard]] int min_dedicated_chips(std::size_t t) const;
+};
+
+/// Sweep a consolidated scenario over fleet sizes, running the
+/// consolidated fleet and every dedicated split at each chip count and
+/// fanning all of the runs out over `threads` workers (default
+/// NTSERV_THREADS). Each run is an independent seed-derived simulation,
+/// so results are bit-identical for any thread count.
+[[nodiscard]] ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
+                                                     const std::vector<int>& chip_counts,
+                                                     Hertz f, int threads);
+[[nodiscard]] ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
+                                                     const std::vector<int>& chip_counts,
+                                                     Hertz f);
+
 }  // namespace ntserv::dse

@@ -43,6 +43,7 @@
 #include "ctrl/governor.hpp"
 
 #include "dc/arrival.hpp"
+#include "dc/chip.hpp"
 #include "dc/fleet.hpp"
 #include "dc/latency_stats.hpp"
 #include "dc/scenario.hpp"

@@ -25,7 +25,7 @@ TEST(Scenario, RegistryEntriesAreUniqueAndExpandable) {
   }
   // The catalog exercises every arrival family and every policy.
   EXPECT_EQ(kinds.size(), 5u);
-  EXPECT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies.size(), 4u);
 }
 
 TEST(Scenario, LookupByName) {
