@@ -73,7 +73,8 @@ void print_sweep(const dse::GovernorSweep& sweep, const dc::Scenario& scenario) 
       sweep.at(ctrl::GovernorKind::kFixedMax).result.energy.value();
   for (const auto& p : sweep.points) {
     const auto& r = p.result;
-    t.add_row({to_string(p.governor), TextTable::num(r.energy.value() * 1e3, 2),
+    t.add_row({std::string(to_string(p.governor)) + (r.truncated ? " [TRUNCATED]" : ""),
+               TextTable::num(r.energy.value() * 1e3, 2),
                TextTable::num(r.energy.value() / fixed_energy, 3),
                TextTable::num(in_us(r.p50), 1), TextTable::num(in_us(r.p99), 1),
                TextTable::num(r.avg_frequency_ghz, 2), std::to_string(r.transitions),

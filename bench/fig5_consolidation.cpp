@@ -59,7 +59,8 @@ void print_consolidation(const dse::ConsolidationSweep& sweep,
       for (std::size_t k = 0; k < sw.tenant_names.size(); ++k) {
         if (sw.tenant_names[k] == tn.name) bound_idx = k;
       }
-      t.add_row({fleet, std::to_string(chips), tn.name,
+      t.add_row({fleet + (r.truncated ? " [TRUNCATED]" : ""), std::to_string(chips),
+                 tn.name,
                  TextTable::num(in_us(tn.p99), 1),
                  TextTable::num(in_us(sw.tenant_bounds[bound_idx]), 1),
                  sw.meets(r, bound_idx) ? "yes" : "no", std::to_string(tn.shed),
@@ -81,7 +82,8 @@ void print_policies(const std::string& tag, const std::vector<dc::BalancePolicy>
                "shed", "energy (mJ)", "util"});
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto& r = results[i];
-    t.add_row({to_string(policies[i]), TextTable::num(in_us(r.p99), 1),
+    t.add_row({std::string(to_string(policies[i])) + (r.truncated ? " [TRUNCATED]" : ""),
+               TextTable::num(in_us(r.p99), 1),
                TextTable::num(in_us(r.mean_latency), 1),
                std::to_string(r.qos_violation_epochs), std::to_string(r.transitions),
                std::to_string(r.steered), std::to_string(r.shed),

@@ -24,10 +24,22 @@ if [[ ! -x "${bin}" ]]; then
 fi
 
 mkdir -p "${out_dir}"
-# NTSERV_BENCH_TAG distinguishes same-day archives (e.g. "r2" for a
-# second PR landing on one date); it must sort lexicographically after
-# ".json" strips, which plain alphanumerics do.
-out="${out_dir}/BENCH_$(date +%Y-%m-%d)${NTSERV_BENCH_TAG:-}.json"
+# Same-day archives auto-increment an "rN" suffix (BENCH_<date>.json,
+# then BENCH_<date>r2.json, ...) so a second run never overwrites the
+# first; NTSERV_BENCH_TAG still overrides the suffix explicitly. The
+# suffix must sort lexicographically after ".json" strips, which plain
+# alphanumerics do.
+stamp="$(date +%Y-%m-%d)"
+if [[ -n "${NTSERV_BENCH_TAG:-}" ]]; then
+  out="${out_dir}/BENCH_${stamp}${NTSERV_BENCH_TAG}.json"
+else
+  out="${out_dir}/BENCH_${stamp}.json"
+  n=2
+  while [[ -e "${out}" ]]; do
+    out="${out_dir}/BENCH_${stamp}r${n}.json"
+    n=$((n + 1))
+  done
+fi
 
 NTSERV_THREADS=1 "${bin}" \
   --benchmark_format=json \

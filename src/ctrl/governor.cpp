@@ -34,6 +34,11 @@ void GovernorConfig::validate() const {
                  "core activity must be in (0,1]");
   NTSERV_EXPECTS(curve.empty() || curve.size() >= 2,
                  "a supplied UIPS curve needs at least two points");
+  NTSERV_EXPECTS(guardband_margin >= 0.0 && guardband_margin <= 0.5,
+                 "guardband margin must be in [0, 0.5]");
+  NTSERV_EXPECTS(guardband_hold_epochs >= 0, "guardband hold must be non-negative");
+  NTSERV_EXPECTS(guardband_margin == 0.0 || guardband_relax_step > 0.0,
+                 "a nonzero guardband needs a positive relax step to recover");
   if (kind == GovernorKind::kNtcBoost) {
     NTSERV_EXPECTS(qos_p99_limit.value() > 0.0,
                    "kNtcBoost needs a positive qos_p99_limit (anchor one via "
@@ -67,6 +72,43 @@ pm::PowerManager make_power_manager(const GovernorConfig& config) {
   return pm::PowerManager{platform,
                           config.curve.empty() ? default_uips_curve() : config.curve,
                           config.core_activity};
+}
+
+Joule FleetGovernor::epoch_energy(const pm::PowerManager& manager, Hertz f, double duty,
+                                  Second duration) const {
+  return manager.energy_for_duty(margined_frequency(manager, f), duty, duration);
+}
+
+void FleetGovernor::configure_guardband(double margin, int hold_epochs, double relax_step) {
+  NTSERV_EXPECTS(margin >= 0.0, "guardband margin must be non-negative");
+  guard_margin_ = margin;
+  guard_hold_ = hold_epochs;
+  guard_step_ = relax_step;
+}
+
+void FleetGovernor::on_error() {
+  if (guard_margin_ <= 0.0) return;
+  margin_ = guard_margin_;
+  hold_left_ = guard_hold_;
+}
+
+void FleetGovernor::relax_guardband() {
+  if (margin_ <= 0.0) return;
+  if (hold_left_ > 0) {
+    --hold_left_;
+    return;
+  }
+  margin_ = std::max(0.0, margin_ - guard_step_);
+}
+
+Hertz FleetGovernor::margined_frequency(const pm::PowerManager& manager, Hertz f) const {
+  if (margin_ <= 0.0) return f;
+  // The margined chip keeps serving at f but holds the supply of the
+  // point f*(1+margin) — the classical timing guardband a processor
+  // retreats to after a detected error, clamped to the device's
+  // feasible range so the power model can still assign it a voltage.
+  const Hertz cap = manager.platform().tech().max_frequency() * 0.95;
+  return std::min(Hertz{f.value() * (1.0 + margin_)}, cap);
 }
 
 namespace {
@@ -232,13 +274,17 @@ class NtcBoostGovernor final : public FleetGovernor {
     if (f == f_boost_ && f_boost_ > manager.curve().back().frequency) {
       return boosted_manager_->energy_for_duty(f, duty, duration);
     }
-    return manager.energy_for_duty(f, duty, duration);
+    return FleetGovernor::epoch_energy(manager, f, duty, duration);
   }
 
  private:
   /// Hysteretic boost state transition as a pure function of (current
   /// state, observation): decide() commits it, peek() previews it.
   [[nodiscard]] bool next_boost_state(const EpochObservation& obs) const {
+    // Guardband dominates: a chip that just detected an error must not
+    // run FBB overdrive — the bias's Vth shift eats exactly the timing
+    // slack the guardband exists to restore.
+    if (guardbanded()) return false;
     // Two boost triggers: measured tail pressure (the SLO feedback) and
     // measured saturation (the leading indicator — a pinned fleet that
     // has run out of capacity will violate a lagging p99 before the p99
@@ -269,17 +315,24 @@ class NtcBoostGovernor final : public FleetGovernor {
 std::unique_ptr<FleetGovernor> make_governor(const GovernorConfig& config,
                                              const pm::PowerManager& manager) {
   config.validate();
+  std::unique_ptr<FleetGovernor> governor;
   switch (config.kind) {
     case GovernorKind::kNone:
       throw ModelError("kNone is the open-loop marker, not a governor");
     case GovernorKind::kFixedMax:
-      return std::make_unique<FixedMaxGovernor>(manager);
+      governor = std::make_unique<FixedMaxGovernor>(manager);
+      break;
     case GovernorKind::kOndemandDvfs:
-      return std::make_unique<OndemandGovernor>(config, manager);
+      governor = std::make_unique<OndemandGovernor>(config, manager);
+      break;
     case GovernorKind::kNtcBoost:
-      return std::make_unique<NtcBoostGovernor>(config, manager);
+      governor = std::make_unique<NtcBoostGovernor>(config, manager);
+      break;
   }
-  throw ModelError("unknown governor kind");
+  if (!governor) throw ModelError("unknown governor kind");
+  governor->configure_guardband(config.guardband_margin, config.guardband_hold_epochs,
+                                config.guardband_relax_step);
+  return governor;
 }
 
 }  // namespace ntserv::ctrl

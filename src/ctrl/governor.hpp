@@ -71,6 +71,11 @@ struct EpochRecord {
   Second transition_time{0.0};
   bool boosted = false;        ///< NTC governor had its FBB boost engaged
   bool violation = false;      ///< p99 over the QoS limit (transition epochs excluded)
+  /// Guardband margin the epoch was charged at (0 = nominal operation).
+  double margin = 0.0;
+  /// Span of the epoch the chip spent crashed (fault injection); down
+  /// time is charged at zero power and serves nothing.
+  Second down_time{0.0};
 };
 
 struct GovernorConfig {
@@ -125,6 +130,18 @@ struct GovernorConfig {
   double ntc_min_capacity = 0.85;
   /// Core switching-activity factor for the PowerManager's power model.
   double core_activity = 0.5;
+  /// ---- Guardband mode (graceful degradation on detected errors) ----
+  /// A fault::FaultKind::kDegrade event delivered to a governed chip
+  /// calls FleetGovernor::on_error(): the governor backs off any FBB
+  /// overdrive and raises its operating margin to guardband_margin (the
+  /// supply point of f*(1+margin) while serving at f, charged through
+  /// the existing power model). After guardband_hold_epochs at full
+  /// margin it relaxes by guardband_relax_step per epoch, so recovery to
+  /// the pre-fault operating point is bounded by
+  /// hold + ceil(margin/step) epochs.
+  double guardband_margin = 0.12;
+  int guardband_hold_epochs = 2;
+  double guardband_relax_step = 0.03;
 
   void validate() const;
 };
@@ -172,13 +189,36 @@ class FleetGovernor {
   [[nodiscard]] virtual bool boosted() const { return false; }
 
   /// Energy of one server over `duration` at frequency `f` with the
-  /// given duty cycle. The default charges the platform's DVFS power;
-  /// a governor in a boosted device state (FBB overdrive at the nominal
-  /// top supply) overrides this with the biased device's power model.
+  /// given duty cycle. The default charges the platform's DVFS power at
+  /// the guardband-margined supply point; a governor in a boosted device
+  /// state (FBB overdrive at the nominal top supply) overrides this with
+  /// the biased device's power model.
   [[nodiscard]] virtual Joule epoch_energy(const pm::PowerManager& manager, Hertz f,
-                                           double duty, Second duration) const {
-    return manager.energy_for_duty(f, duty, duration);
-  }
+                                           double duty, Second duration) const;
+
+  // ---- Guardband mode (all governor kinds; see GovernorConfig) ----
+  void configure_guardband(double margin, int hold_epochs, double relax_step);
+  /// A detected error on the governed chip: engage the full margin and
+  /// restart the hold window. Idempotent while already guardbanded.
+  void on_error();
+  /// One rate-limited relaxation step; the fleet calls this once per
+  /// closed epoch so recovery is bounded in epochs, not wall time.
+  void relax_guardband();
+  /// Current operating margin (0 = nominal operation).
+  [[nodiscard]] double margin() const { return margin_; }
+  [[nodiscard]] bool guardbanded() const { return margin_ > 0.0; }
+
+ protected:
+  /// Supply point the margined platform is charged at: `f` stretched by
+  /// the margin, clamped to the device's feasible maximum.
+  [[nodiscard]] Hertz margined_frequency(const pm::PowerManager& manager, Hertz f) const;
+
+ private:
+  double guard_margin_ = 0.12;
+  int guard_hold_ = 2;
+  double guard_step_ = 0.03;
+  double margin_ = 0.0;
+  int hold_left_ = 0;
 };
 
 /// Build the configured governor over a PowerManager (which must outlive

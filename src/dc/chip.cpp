@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -9,11 +10,25 @@
 
 namespace ntserv::dc {
 
+namespace {
+
+/// Run context for invariant-violation messages: which chip, when — the
+/// difference between a diagnosable failure and a needle in a
+/// 1000-chip sweep.
+std::string chip_context(int chip, double now_s) {
+  std::ostringstream os;
+  os << "[chip " << chip << ", t=" << now_s << "s]";
+  return os.str();
+}
+
+}  // namespace
+
 ChipServer::ChipServer(const ChipParams& params)
     : cores_per_cluster_(params.cluster.hierarchy.cores),
       chip_id_(params.chip_id),
       base_frequency_(params.frequency),
-      frequency_(params.frequency) {
+      frequency_(params.frequency),
+      requested_frequency_(params.frequency) {
   NTSERV_EXPECTS(params.clusters > 0, "a chip needs at least one cluster");
   NTSERV_EXPECTS(params.tenants > 0, "a chip needs at least one tenant");
   clusters_.reserve(static_cast<std::size_t>(params.clusters));
@@ -42,13 +57,64 @@ ChipServer::ChipServer(const ChipParams& params)
 }
 
 void ChipServer::set_frequency(Hertz f) {
-  frequency_ = f;
-  for (auto& cluster : clusters_) cluster->set_core_clock(f);
+  requested_frequency_ = f;
+  // A limping chip's Vmin guardband escalation caps the clock below what
+  // the governor asked for; the request is re-applied when the cap lifts.
+  const Hertz cap = base_frequency_ * freq_cap_;
+  frequency_ = freq_cap_ < 1.0 ? std::min(f, cap) : f;
+  for (auto& cluster : clusters_) cluster->set_core_clock(frequency_);
+}
+
+std::vector<Request> ChipServer::crash(double now_s) {
+  NTSERV_EXPECTS(!down_, "crash on an already-crashed chip " + chip_context(chip_id_, now_s));
+  std::vector<Request> lost;
+  for (auto& slot : slots_) {
+    if (!slot.busy) continue;
+    lost.push_back(slot.request);
+    slot.busy = false;
+    slot.target_user_committed = 0;
+    slot.committed_at_quantum_start = 0;
+  }
+  busy_cores_ = 0;
+  std::fill(busy_per_cluster_.begin(), busy_per_cluster_.end(), 0);
+  // Cancel any pending transition stall: the voltage domain is powering
+  // off anyway, and an outage must not leave a phantom stall behind.
+  stall_begin_s_ = std::min(stall_begin_s_, now_s);
+  stall_until_s_ = std::min(stall_until_s_, now_s);
+  down_ = true;
+  down_since_s_ = now_s;
+  return lost;
+}
+
+void ChipServer::recover(double now_s) {
+  NTSERV_EXPECTS(down_, "recover on a healthy chip " + chip_context(chip_id_, now_s));
+  down_ = false;
+  down_seconds_ += now_s - down_since_s_;
+}
+
+void ChipServer::degrade(double freq_cap, int core_cap) {
+  NTSERV_EXPECTS(freq_cap > 0.0 && freq_cap <= 1.0,
+                 "degrade frequency cap must be in (0,1] " + chip_context(chip_id_, 0.0));
+  freq_cap_ = freq_cap;
+  core_cap_ = std::max(core_cap, 0);
+  set_frequency(requested_frequency_);
+}
+
+void ChipServer::restore() {
+  freq_cap_ = 1.0;
+  core_cap_ = 0;
+  set_frequency(requested_frequency_);
+}
+
+int ChipServer::usable_cores() const {
+  return core_cap_ > 0 ? std::min(core_cap_, cores()) : cores();
 }
 
 void ChipServer::start_services(double now_s) {
+  if (down_) return;                 // a crashed chip serves nothing
   if (in_transition(now_s)) return;  // the whole voltage domain is mid-swing
-  for (std::size_t s = 0; s < slots_.size(); ++s) {
+  const auto fillable = static_cast<std::size_t>(usable_cores());
+  for (std::size_t s = 0; s < std::min(fillable, slots_.size()); ++s) {
     if (queue_.empty()) return;
     CoreSlot& slot = slots_[s];
     if (slot.busy) continue;
@@ -66,6 +132,7 @@ void ChipServer::start_services(double now_s) {
 
 void ChipServer::advance(double now_s, double dt, Cycle quantum,
                          const std::function<void(const Request&)>& on_complete) {
+  if (down_) return;             // crashed: no service, no active time
   if (busy_cores_ == 0) return;  // whole chip asleep (fleet-level event skip)
 
   // Cycles this quantum at the chip's own clock. The ratio is exactly 1.0
@@ -160,7 +227,8 @@ void ChipServer::attach_governor(std::unique_ptr<ctrl::FleetGovernor> governor,
 ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
                                                  std::uint64_t epoch_index,
                                                  bool final_partial) {
-  NTSERV_EXPECTS(governor_ != nullptr, "close_epoch on an ungoverned chip");
+  NTSERV_EXPECTS(governor_ != nullptr, "close_epoch on an ungoverned chip " +
+                                           chip_context(chip_id_, now_s));
   EpochOutcome out;
   const double epoch_start = now_s - duration;
   // The closing epoch's share of the (single, boundary-started) stall: a
@@ -169,6 +237,13 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   const double stall_overlap =
       std::max(0.0, std::min(stall_until_s_, now_s) - std::max(stall_begin_s_, epoch_start));
   if (duration <= 0.0 && stall_overlap <= 0.0) return out;
+
+  // The epoch's share of crash down time, by the same each-second-charged-
+  // exactly-once bookkeeping as the stall: the lifetime down integral
+  // advanced past the anchor left at the previous close.
+  const double down_total = down_seconds(now_s);
+  const double down_overlap = std::max(0.0, down_total - epoch_down_anchor_);
+  epoch_down_anchor_ = down_total;
 
   ctrl::EpochRecord rec;
   rec.chip = chip_id_;
@@ -181,6 +256,8 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   rec.transition = stall_overlap > 0.0;
   rec.transition_time = Second{stall_overlap};
   rec.boosted = governor_->boosted();
+  rec.margin = governor_->margin();
+  rec.down_time = Second{down_overlap};
 
   double p99 = 0.0;
   if (!epoch_latencies_.empty()) {
@@ -194,11 +271,12 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
 
   // Energy: the serving span at the governor's duty semantics, plus the
   // stalled span at full active power (the ramp burns at the target
-  // point — frequency_ already is the target during a stall). Charging
-  // the stall through its epochs, not at the decision, keeps every wall
-  // second charged exactly once.
+  // point — frequency_ already is the target during a stall), plus the
+  // crashed span at zero (fail-stop is powered off). Charging the stall
+  // through its epochs, not at the decision, keeps every wall second
+  // charged exactly once.
   const bool sleeps = governor_->sleeps_when_idle();
-  const double serving = duration - stall_overlap;
+  const double serving = std::max(0.0, duration - stall_overlap - down_overlap);
   const double duty = sleeps && serving > 0.0
                           ? std::min(1.0, epoch_active_seconds_ / serving)
                           : (serving > 0.0 ? 1.0 : 0.0);
@@ -219,9 +297,14 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   last_epoch_utilization_ = rec.utilization;
   last_epoch_p99_ = Second{p99};
 
+  // Guardband relaxes exactly once per closed epoch — after this epoch's
+  // energy was charged at its margin, before the next epoch begins.
+  governor_->relax_guardband();
+
   // A chip mid-swing at the boundary holds: the governor cannot retune a
-  // voltage domain that has not settled yet.
-  if (!final_partial && !in_transition(now_s)) {
+  // voltage domain that has not settled yet. A crashed chip's governor
+  // holds too — there is no domain to retune.
+  if (!final_partial && !in_transition(now_s) && !down_) {
     ctrl::EpochObservation obs;
     obs.epoch = epoch_index;
     obs.frequency = frequency_;
@@ -229,14 +312,20 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
     obs.completions = epoch_latencies_.size();
     obs.p99 = Second{p99};
     const Hertz f_next = governor_->decide(obs);
-    if (f_next != frequency_) {
-      // The shared transition: every cluster on the chip pauses for the
-      // swing while arrivals keep queueing. Its energy accrues in the
-      // epochs the stall overlaps (see above).
-      const Second t_trans = governor_->transition_time(frequency_, f_next);
-      out.transition_s = t_trans.value();
-      begin_stall(now_s, t_trans);
+    // Compare against the *requested* frequency: a degradation cap can
+    // pin the applied clock below a standing request, and re-issuing the
+    // same request must not re-pay the transition every epoch.
+    if (f_next != requested_frequency_) {
+      const Hertz before = frequency_;
       set_frequency(f_next);
+      if (frequency_ != before) {
+        // The shared transition: every cluster on the chip pauses for
+        // the swing while arrivals keep queueing. Its energy accrues in
+        // the epochs the stall overlaps (see above).
+        const Second t_trans = governor_->transition_time(before, frequency_);
+        out.transition_s = t_trans.value();
+        begin_stall(now_s, t_trans);
+      }
     }
   }
 

@@ -41,9 +41,14 @@ struct Request {
   double start_s = 0.0;         ///< service began on a core
   double completion_s = 0.0;
   std::uint64_t budget = 0;     ///< user-instruction cost (ctrl::BudgetSampler)
-  int attempts = 0;             ///< admission rejections suffered so far
+  int attempts = 0;             ///< admission rejections + timeouts suffered so far
   int server = -1;
   int core = -1;
+  /// Fleet-wide dispatch-copy sequence (resilience tracking): every
+  /// admitted attempt — primary, retry, or hedge — gets a fresh copy id,
+  /// so late completions of abandoned attempts are recognisable.
+  std::uint64_t copy = 0;
+  bool hedge = false;           ///< this copy is a hedged duplicate
 
   [[nodiscard]] double latency_s() const { return completion_s - arrival_s; }
   [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
@@ -87,11 +92,44 @@ class ChipServer {
     return static_cast<int>(queue_.size()) + busy_cores_;
   }
   [[nodiscard]] int busy_cores() const { return busy_cores_; }
-  /// Move queued requests onto idle core slots (no-op mid-transition).
+  /// Move queued requests onto idle core slots (no-op mid-transition,
+  /// while crashed, and beyond a degradation's core cap).
   void start_services(double now_s);
+
+  // ---- Fault state (fault::FaultInjector events, fleet-delivered) ----
+  [[nodiscard]] bool down() const { return down_; }
+  /// Fail-stop: stop serving and abandon all in-service work. The
+  /// abandoned requests are returned (in deterministic cluster-major
+  /// slot order) for the fleet to re-dispatch (failover) or park back on
+  /// this chip's queue (health-blind dispatch); their service restarts
+  /// from scratch — fail-stop loses architectural state. Any pending
+  /// transition stall is cancelled (the domain is powering off anyway).
+  /// The queue is left untouched; the fleet decides whether to drain it.
+  [[nodiscard]] std::vector<Request> crash(double now_s);
+  /// A crashed chip returns to service (cold: whatever sits in the queue
+  /// starts being served again at the next start_services).
+  void recover(double now_s);
+  /// Limping chip (Vmin guardband escalation): cap the clock at
+  /// `freq_cap` x the nominal chip clock and the usable core slots at
+  /// `core_cap` (<= 0 = no core cap). freq_cap = 1.0 models a pure
+  /// detected-error event (caps nothing; the governor's guardband is the
+  /// whole reaction).
+  void degrade(double freq_cap, int core_cap);
+  /// Lift the degradation caps (the governor guardband relaxes on its
+  /// own schedule).
+  void restore();
+  [[nodiscard]] bool degraded() const { return freq_cap_ < 1.0 || core_cap_ > 0; }
+  /// Core slots start_services may fill under the current core cap.
+  [[nodiscard]] int usable_cores() const;
+  /// Total crashed wall time, including an open outage up to `now_s`.
+  [[nodiscard]] double down_seconds(double now_s) const {
+    return down_seconds_ + (down_ ? now_s - down_since_s_ : 0.0);
+  }
 
   // ---- Per-chip DVFS (one shared voltage domain) ----
   /// Retune every cluster's clock; takes effect on the next advance().
+  /// A degradation frequency cap clamps the applied clock; the requested
+  /// value is remembered and re-applied when the cap lifts.
   void set_frequency(Hertz f);
   /// Freeze service for `duration` starting at `now_s` (the shared DVFS /
   /// body-bias transition stall: every cluster pauses together). The
@@ -126,6 +164,11 @@ class ChipServer {
                        const pm::PowerManager* manager, Second qos_p99_limit);
   [[nodiscard]] bool governed() const { return governor_ != nullptr; }
   [[nodiscard]] const ctrl::FleetGovernor& governor() const { return *governor_; }
+  /// Forward a detected-error event to the chip's governor, which enters
+  /// its guardband mode. No-op on an ungoverned chip.
+  void notify_error() {
+    if (governor_ != nullptr) governor_->on_error();
+  }
 
   /// Outcome of one chip epoch: the record, its energy, and any
   /// transition begun at the boundary. record.transition_time carries the
@@ -188,10 +231,19 @@ class ChipServer {
   int chip_id_ = 0;
 
   Hertz base_frequency_;   ///< the fleet's master clock
-  Hertz frequency_;        ///< current chip clock (per-chip DVFS)
+  Hertz frequency_;        ///< current applied chip clock (per-chip DVFS)
+  Hertz requested_frequency_;  ///< governor/config target before any fault cap
   double cycle_carry_ = 0.0;
   double stall_begin_s_ = 0.0;
   double stall_until_s_ = 0.0;
+
+  // Fault state.
+  bool down_ = false;
+  double down_since_s_ = 0.0;
+  double down_seconds_ = 0.0;      ///< closed outages only
+  double epoch_down_anchor_ = 0.0; ///< down_seconds(now) at the last epoch close
+  double freq_cap_ = 1.0;          ///< degradation clock cap (fraction of nominal)
+  int core_cap_ = 0;               ///< degradation core cap (0 = uncapped)
 
   // Lifetime accounting.
   double active_seconds_ = 0.0;

@@ -4,11 +4,29 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
 namespace ntserv::dc {
+
+namespace {
+
+/// Run context for invariant-violation messages: where in the run the
+/// fleet was when the invariant broke — the difference between a
+/// diagnosable failure and a needle in a 1000-chip sweep.
+std::string run_context(double now_s, std::uint64_t epoch, std::uint64_t disposed,
+                        std::uint64_t total) {
+  std::ostringstream os;
+  os << "[t=" << now_s << "s, epoch " << epoch << ", disposed " << disposed << "/"
+     << total << "]";
+  return os.str();
+}
+
+}  // namespace
 
 const char* to_string(BalancePolicy p) {
   switch (p) {
@@ -33,6 +51,15 @@ ctrl::BudgetConfig TenantSpec::resolved_budget() const {
   ctrl::BudgetConfig b = budget;
   if (b.mean == 0) b.mean = user_instructions_per_request;
   return b;
+}
+
+void ResilienceConfig::validate() const {
+  NTSERV_EXPECTS(timeout.value() >= 0.0, "timeout must be non-negative");
+  if (hedging) {
+    NTSERV_EXPECTS(hedge_multiplier > 0.0, "hedge multiplier must be positive");
+    NTSERV_EXPECTS(hedge_min_delay.value() > 0.0,
+                   "hedging needs a positive minimum delay (the cold-start rule)");
+  }
 }
 
 std::vector<TenantSpec> FleetConfig::resolved_tenants() const {
@@ -61,6 +88,11 @@ void FleetConfig::validate() const {
   }
   admission.validate();
   governor.validate();
+  faults.validate();
+  resilience.validate();
+  for (const auto& e : faults.events) {
+    NTSERV_EXPECTS(e.chip < servers, "scripted fault event targets a chip outside the fleet");
+  }
 }
 
 ClusterFleet::ClusterFleet(FleetConfig config)
@@ -112,35 +144,49 @@ int ClusterFleet::outstanding(int s) const {
   return chips_.at(static_cast<std::size_t>(s))->outstanding();
 }
 
-int ClusterFleet::least_loaded() const {
-  int best = 0;
-  for (int s = 1; s < servers(); ++s) {
-    if (outstanding(s) < outstanding(best)) best = s;
+int ClusterFleet::least_loaded(bool healthy_only, int exclude) const {
+  int best = -1;
+  for (int s = 0; s < servers(); ++s) {
+    if (s == exclude) continue;
+    if (healthy_only && chips_[static_cast<std::size_t>(s)]->down()) continue;
+    if (best < 0 || outstanding(s) < outstanding(best)) best = s;
   }
   return best;
 }
 
 int ClusterFleet::pick_server(const Request& req, double now_s) {
+  // With failover the dispatcher is health-aware: every policy confines
+  // itself to chips that are up, and -1 reports a fully-dark fleet.
+  // Without it the dispatcher is deliberately health-blind — the
+  // baseline every failover comparison is made against.
+  const bool avoid_down = config_.resilience.failover;
+  const auto up = [&](int s) {
+    return !avoid_down || !chips_[static_cast<std::size_t>(s)]->down();
+  };
   switch (config_.policy) {
     case BalancePolicy::kRoundRobin: {
-      const int s = round_robin_next_;
-      round_robin_next_ = (round_robin_next_ + 1) % servers();
-      return s;
+      for (int tried = 0; tried < servers(); ++tried) {
+        const int s = round_robin_next_;
+        round_robin_next_ = (round_robin_next_ + 1) % servers();
+        if (up(s)) return s;
+      }
+      return -1;
     }
     case BalancePolicy::kLeastLoaded:
-      return least_loaded();
+      return least_loaded(avoid_down);
     case BalancePolicy::kPowerAware: {
       // Pack in index order while a chip has headroom; beyond that fall
       // back to least-loaded so saturation degrades gracefully.
       const double cap = config_.pack_depth_per_core *
                          static_cast<double>(cores_per_server());
       for (int s = 0; s < servers(); ++s) {
-        if (static_cast<double>(outstanding(s)) < cap) return s;
+        if (up(s) && static_cast<double>(outstanding(s)) < cap) return s;
       }
-      return least_loaded();
+      return least_loaded(avoid_down);
     }
     case BalancePolicy::kGovernorAware: {
-      const int base = least_loaded();
+      const int base = least_loaded(avoid_down);
+      if (base < 0) return -1;      // fully-dark fleet
       if (!governed_) return base;  // nothing to anticipate open-loop
       const bool critical =
           tenants_[static_cast<std::size_t>(req.tenant)].spec.latency_critical;
@@ -151,6 +197,7 @@ int ClusterFleet::pick_server(const Request& req, double now_s) {
       int best = -1;
       for (int s = 0; s < servers(); ++s) {
         const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
+        if (!up(s)) continue;
         if (chip.in_transition(now_s) ||
             chip.pending_descent(now_s, epoch_start_s_, peek_window_s_)) {
           continue;
@@ -190,11 +237,82 @@ FleetResult ClusterFleet::run() {
   double now_s = 0.0;
   std::uint64_t next_id = 0;  ///< global admission-order sequence
   std::uint64_t offered = 0, admitted = 0, retry_count = 0, shed = 0;
-  std::uint64_t disposed = 0;  ///< completions + permanently shed
+  std::uint64_t disposed = 0;  ///< completed + shed + timed-out requests
   std::uint64_t completed_total = 0, completed_measured = 0;
   bool truncated = false;
   double last_arrival_s = 0.0;
   steered_ = 0;
+
+  // ---- Fault & resilience state (all idle on a healthy, patient run) ----
+  const ResilienceConfig& res = config_.resilience;
+  const double timeout_s = res.timeout.value();
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config_.faults.any()) {
+    injector =
+        std::make_unique<fault::FaultInjector>(config_.faults, config_.seed, servers());
+  }
+
+  /// One admitted, unresolved dispatch copy of a request.
+  struct LiveCopy {
+    std::uint64_t copy;
+    int server;
+  };
+  /// Everything the fleet knows about an undisposed request: the
+  /// canonical fields (for retries and hedges), its live copies, and its
+  /// fault exposure.
+  struct PendingRequest {
+    Request proto;
+    std::vector<LiveCopy> live;
+    bool hedged = false;
+    bool damaged = false;  ///< lifetime overlapped an active fault window
+  };
+  std::unordered_map<std::uint64_t, PendingRequest> pending;  // id -> state
+  /// In-service copies that lost their race (timeout abandonment or a
+  /// sibling's win): they run to completion, and the completion is
+  /// discarded as wasted work.
+  std::unordered_set<std::uint64_t> dead_copies;
+  std::uint64_t copy_seq = 0;
+
+  struct CopyDeadline {
+    double due_s;
+    std::uint64_t copy;
+    std::uint64_t id;
+    [[nodiscard]] bool operator>(const CopyDeadline& o) const {
+      return due_s != o.due_s ? due_s > o.due_s : copy > o.copy;
+    }
+  };
+  std::priority_queue<CopyDeadline, std::vector<CopyDeadline>, std::greater<>> timeouts;
+  struct HedgeDue {
+    double due_s;
+    std::uint64_t id;
+    [[nodiscard]] bool operator>(const HedgeDue& o) const {
+      return due_s != o.due_s ? due_s > o.due_s : id > o.id;
+    }
+  };
+  std::priority_queue<HedgeDue, std::vector<HedgeDue>, std::greater<>> hedges;
+
+  std::uint64_t timed_out_count = 0, hedged_count = 0, hedge_wins = 0;
+  std::uint64_t redispatched_count = 0, wasted = 0, good_completions = 0;
+  std::uint64_t faults_injected = 0;
+  int chips_down = 0, chips_degraded = 0;
+  std::vector<char> chip_degraded(static_cast<std::size_t>(servers()), 0);
+  std::uint64_t damaged_live = 0;  ///< pending requests touched by a fault
+  double first_fault_s = -1.0, recovered_at = -1.0;
+  int guardband_epochs = 0;
+
+  auto fault_active = [&] { return chips_down > 0 || chips_degraded > 0; };
+  auto mark_damaged = [&](PendingRequest& pr) {
+    if (pr.damaged) return;
+    pr.damaged = true;
+    ++damaged_live;
+  };
+  // The recovery point: every fault window closed *and* every request a
+  // window touched disposed — the backlog a crash leaves behind is part
+  // of the outage, not of normal operation. A later fault reopens it.
+  auto note_recovery = [&](double t) {
+    if (first_fault_s < 0.0 || recovered_at >= 0.0) return;
+    if (!fault_active() && damaged_live == 0) recovered_at = t;
+  };
 
   // Epoch (closed-loop) state. The epoch is a *wall-time* control
   // interval sized at the base frequency: a governor that slowed a
@@ -225,16 +343,27 @@ FleetResult ClusterFleet::run() {
       total_transition += outcome.record.transition_time;
       if (outcome.record.transition) ++transition_epochs;
       if (outcome.record.violation) ++violations;
+      if (outcome.record.margin > 0.0) ++guardband_epochs;
       epoch_records.push_back(outcome.record);
     }
     ++epoch_index;
     epoch_start_s_ = now_s;
   };
 
-  auto measure_completion = [&](const Request& req) {
+  // Every disposal — completion, shed, timeout — retires the request's
+  // tracking entry through here, so `disposed`, the damage drain and the
+  // recovery point stay consistent by construction.
+  auto erase_pending = [&](std::unordered_map<std::uint64_t, PendingRequest>::iterator it) {
+    if (it->second.damaged) --damaged_live;
+    pending.erase(it);
+    ++disposed;
+    note_recovery(now_s);
+  };
+
+  auto measure_completion = [&](const Request& req, bool damaged) {
     TenantState& tenant = tenants_[static_cast<std::size_t>(req.tenant)];
     ++completed_total;
-    ++disposed;
+    ++tenant.completed_all;
     if (req.tenant_seq >= tenant.spec.warmup_requests) {
       ++completed_measured;
       latency.add(req.latency_s());
@@ -245,31 +374,263 @@ FleetResult ClusterFleet::run() {
       tenant.latency_mean.add(req.latency_s());
       tenant.wait_mean.add(req.wait_s());
       const double limit = tenant.spec.qos_p99_limit.value();
-      if (limit > 0.0 && req.latency_s() > limit) ++tenant.sla_violations;
+      if (limit > 0.0 && req.latency_s() > limit) {
+        ++tenant.sla_violations;
+        if (damaged) ++tenant.degraded_sla_violations;
+      } else {
+        ++good_completions;
+      }
     }
   };
-  const std::function<void(const Request&)> completion_sink = measure_completion;
 
-  // One dispatch attempt at event time `event_s` (arrival or back-off
-  // expiry): admit into the picked chip's queue, or back the client off,
-  // or shed once the retry budget is spent.
+  // Remove a cancelled copy from the fleet: dequeue it if it is still
+  // waiting, otherwise it is in service and its eventual completion is
+  // discarded as wasted work.
+  auto cancel_copy = [&](const LiveCopy& lc) {
+    auto& qd = chips_[static_cast<std::size_t>(lc.server)]->queue();
+    for (auto qit = qd.begin(); qit != qd.end(); ++qit) {
+      if (qit->copy == lc.copy) {
+        qd.erase(qit);
+        return;
+      }
+    }
+    dead_copies.insert(lc.copy);
+  };
+
+  // Chip completion sink: resolve the race between a request's copies.
+  // The first live copy to complete wins; every sibling is cancelled and
+  // the request is disposed. Late completions of abandoned copies are
+  // counted as wasted work, never measured twice.
+  const std::function<void(const Request&)> completion_sink = [&](const Request& req) {
+    if (dead_copies.erase(req.copy) > 0) {
+      ++wasted;
+      return;
+    }
+    auto it = pending.find(req.id);
+    NTSERV_ENSURES(it != pending.end(),
+                   "completion for an unknown request " +
+                       run_context(now_s, epoch_index, disposed, total));
+    PendingRequest& pr = it->second;
+    auto lit = std::find_if(pr.live.begin(), pr.live.end(),
+                            [&](const LiveCopy& c) { return c.copy == req.copy; });
+    NTSERV_ENSURES(lit != pr.live.end(),
+                   "completion for a copy that is neither live nor dead " +
+                       run_context(now_s, epoch_index, disposed, total));
+    pr.live.erase(lit);
+    for (const auto& other : pr.live) cancel_copy(other);
+    pr.live.clear();
+    if (req.hedge) ++hedge_wins;
+    measure_completion(req, pr.damaged || fault_active());
+    erase_pending(it);
+  };
+
+  // Hedge delay: the tail-at-scale rule — a multiple of the measured
+  // running p95, with a configured floor until enough completions exist
+  // for the estimate to be a tail.
+  auto hedge_delay = [&]() {
+    if (latency.count() >= res.hedge_warmup && latency.p95() > 0.0) {
+      return res.hedge_multiplier * latency.p95();
+    }
+    return res.hedge_min_delay.value();
+  };
+
+  // One dispatch attempt at event time `event_s` (arrival, back-off
+  // expiry, or timeout retry): admit a fresh copy into the picked chip's
+  // queue, or back the client off, or shed once the retry budget is
+  // spent. With failover and a fully-dark fleet, park until a recovery
+  // without charging the retry budget.
   auto dispatch = [&](Request req, double event_s) {
-    req.server = pick_server(req, now_s);
-    if (admission_.admit(outstanding(req.server), cores_per_server())) {
-      chips_[static_cast<std::size_t>(req.server)]->queue().push_back(req);
+    auto pit = pending.find(req.id);
+    NTSERV_ENSURES(pit != pending.end(),
+                   "dispatch of an untracked request " +
+                       run_context(now_s, epoch_index, disposed, total));
+    PendingRequest& pr = pit->second;
+    const int server = pick_server(req, now_s);
+    if (server < 0) {
+      retries_.push(RetryEntry{event_s + admission_.retry_delay(0).value(), req});
+      return;
+    }
+    req.server = server;
+    if (admission_.admit(outstanding(server), cores_per_server())) {
+      req.copy = ++copy_seq;
+      req.hedge = false;
+      auto& chip = *chips_[static_cast<std::size_t>(server)];
+      chip.queue().push_back(req);
       ++admitted;
+      pr.live.push_back({req.copy, server});
+      pr.proto.attempts = req.attempts;
+      if (chip.down() || chip.degraded()) mark_damaged(pr);
+      if (timeout_s > 0.0) timeouts.push({event_s + timeout_s, req.copy, req.id});
+      if (res.hedging && !pr.hedged && pr.live.size() == 1 && servers() > 1) {
+        hedges.push({event_s + hedge_delay(), req.id});
+      }
       return;
     }
     if (admission_.may_retry(req.attempts)) {
       ++retry_count;
       const double due = event_s + admission_.retry_delay(req.attempts).value();
       ++req.attempts;
+      pr.proto.attempts = req.attempts;
       retries_.push(RetryEntry{due, req});
       return;
     }
     ++shed;
-    ++disposed;
     ++tenants_[static_cast<std::size_t>(req.tenant)].shed;
+    erase_pending(pit);
+  };
+
+  // Dispatch the hedged duplicate: a different healthy chip, admitted
+  // through the same controller; a rejected hedge is simply dropped (it
+  // is opportunistic — the primary still runs).
+  auto dispatch_hedge = [&](std::uint64_t id, double event_s) {
+    auto pit = pending.find(id);
+    if (pit == pending.end()) return;  // already resolved
+    PendingRequest& pr = pit->second;
+    if (pr.hedged || pr.live.empty()) return;  // one hedge max; back-off limbo
+    const int primary = pr.live.front().server;
+    const int server = least_loaded(/*healthy_only=*/true, /*exclude=*/primary);
+    if (server < 0) return;
+    auto& chip = *chips_[static_cast<std::size_t>(server)];
+    if (!admission_.admit(outstanding(server), cores_per_server())) return;
+    Request req = pr.proto;
+    req.server = server;
+    req.copy = ++copy_seq;
+    req.hedge = true;
+    chip.queue().push_back(req);
+    ++admitted;
+    pr.live.push_back({req.copy, server});
+    pr.hedged = true;
+    ++hedged_count;
+    ++tenants_[static_cast<std::size_t>(req.tenant)].hedged;
+    if (chip.down() || chip.degraded()) mark_damaged(pr);
+    if (timeout_s > 0.0) timeouts.push({event_s + timeout_s, req.copy, id});
+  };
+
+  // Expire per-attempt timeouts due by `now_s`: abandon the late copy;
+  // once no copy is left racing, retry through the admission back-off
+  // schedule or dispose the request as timed out.
+  auto process_timeouts = [&]() {
+    while (!timeouts.empty() && timeouts.top().due_s <= now_s) {
+      const CopyDeadline d = timeouts.top();
+      timeouts.pop();
+      auto pit = pending.find(d.id);
+      if (pit == pending.end()) continue;  // request already resolved
+      PendingRequest& pr = pit->second;
+      auto lit = std::find_if(pr.live.begin(), pr.live.end(),
+                              [&](const LiveCopy& c) { return c.copy == d.copy; });
+      if (lit == pr.live.end()) continue;  // copy already resolved
+      cancel_copy(*lit);
+      pr.live.erase(lit);
+      if (!pr.live.empty()) continue;  // a sibling copy is still racing
+      Request req = pr.proto;
+      if (admission_.may_retry(req.attempts)) {
+        ++retry_count;
+        const double due = d.due_s + admission_.retry_delay(req.attempts).value();
+        ++req.attempts;
+        pr.proto.attempts = req.attempts;
+        retries_.push(RetryEntry{due, req});
+        continue;
+      }
+      ++timed_out_count;
+      ++tenants_[static_cast<std::size_t>(pr.proto.tenant)].timed_out;
+      erase_pending(pit);
+    }
+  };
+
+  auto process_hedges = [&]() {
+    while (!hedges.empty() && hedges.top().due_s <= now_s) {
+      const HedgeDue h = hedges.top();
+      hedges.pop();
+      dispatch_hedge(h.id, h.due_s);
+    }
+  };
+
+  // Deliver one fault event to its chip (and, for crashes under
+  // failover, to the dispatcher).
+  auto apply_fault = [&](const fault::FaultEvent& e) {
+    auto& chip = *chips_[static_cast<std::size_t>(e.chip)];
+    ++faults_injected;
+    if (first_fault_s < 0.0) first_fault_s = e.at_s;
+    recovered_at = -1.0;  // a new fault reopens the recovery window
+    const auto damage_residents = [&] {
+      for (auto& [id, pr] : pending) {
+        for (const auto& lc : pr.live) {
+          if (lc.server == e.chip) {
+            mark_damaged(pr);
+            break;
+          }
+        }
+      }
+    };
+    switch (e.kind) {
+      case fault::FaultKind::kCrash: {
+        if (chip.down()) return;  // scripted double-crash: idempotent
+        ++chips_down;
+        std::vector<Request> victims = chip.crash(now_s);
+        damage_residents();
+        if (res.failover) {
+          // Health-aware failover: in-flight losses first (they are the
+          // oldest work), then the drained queue, each re-placed on the
+          // least-loaded healthy chip. Re-placement bypasses admission —
+          // the balancer must land displaced work somewhere.
+          auto& qd = chip.queue();
+          victims.insert(victims.end(), qd.begin(), qd.end());
+          qd.clear();
+          for (Request& r : victims) {
+            auto pit = pending.find(r.id);
+            NTSERV_ENSURES(pit != pending.end(),
+                           "crash victim is untracked " +
+                               run_context(now_s, epoch_index, disposed, total));
+            auto& live = pit->second.live;
+            live.erase(std::find_if(live.begin(), live.end(), [&](const LiveCopy& c) {
+              return c.copy == r.copy;
+            }));
+            const int target = least_loaded(/*healthy_only=*/true);
+            if (target >= 0) {
+              r.server = target;
+              chips_[static_cast<std::size_t>(target)]->queue().push_back(r);
+              live.push_back({r.copy, target});
+              ++redispatched_count;
+              ++tenants_[static_cast<std::size_t>(r.tenant)].redispatched;
+            } else {
+              // Fully-dark fleet: back to the client as a parked retry.
+              retries_.push(
+                  RetryEntry{now_s + admission_.retry_delay(0).value(), pit->second.proto});
+            }
+          }
+        } else {
+          // Health-blind dispatch: the in-flight losses restart on this
+          // same chip at recovery, ahead of the queued backlog (they are
+          // older), and the queue waits out the outage.
+          for (auto rit = victims.rbegin(); rit != victims.rend(); ++rit) {
+            chip.queue().push_front(*rit);
+          }
+        }
+        break;
+      }
+      case fault::FaultKind::kRecover:
+        if (!chip.down()) return;
+        --chips_down;
+        chip.recover(now_s);
+        break;
+      case fault::FaultKind::kDegrade:
+        if (chip_degraded[static_cast<std::size_t>(e.chip)] == 0) {
+          chip_degraded[static_cast<std::size_t>(e.chip)] = 1;
+          ++chips_degraded;
+        }
+        chip.degrade(e.freq_cap, e.core_cap);
+        chip.notify_error();  // governor guardband engages
+        damage_residents();
+        break;
+      case fault::FaultKind::kRestore:
+        if (chip_degraded[static_cast<std::size_t>(e.chip)] == 1) {
+          chip_degraded[static_cast<std::size_t>(e.chip)] = 0;
+          --chips_degraded;
+        }
+        chip.restore();
+        break;
+    }
+    note_recovery(now_s);
   };
 
   // Earliest pending arrival across tenants; tenants_.size() when none.
@@ -290,7 +651,11 @@ FleetResult ClusterFleet::run() {
       truncated = true;
       break;
     }
+    if (injector != nullptr) {
+      while (injector->due(now_s)) apply_fault(injector->pop());
+    }
     if (governed_ && now_s >= epoch_start_s_ + epoch_len_s) close_epochs(false);
+    process_timeouts();
 
     // Admit everything due by `now_s`: merge the tenants' arrival streams
     // and the back-off heap in event-time order (ties go to the fresh
@@ -317,6 +682,7 @@ FleetResult ClusterFleet::run() {
         if (tenant.offered < tenant.total) {
           tenant.next_arrival_s = tenant.arrivals->next().value();
         }
+        pending.emplace(req.id, PendingRequest{req, {}, false, false});
         dispatch(req, req.arrival_s);
       } else {
         const RetryEntry entry = retries_.top();
@@ -324,6 +690,7 @@ FleetResult ClusterFleet::run() {
         dispatch(entry.request, entry.due_s);
       }
     }
+    process_hedges();
 
     for (auto& chip : chips_) chip->start_services(now_s);
 
@@ -342,13 +709,26 @@ FleetResult ClusterFleet::run() {
         }
       }
       if (!retries_.empty()) next_event = std::min(next_event, retries_.top().due_s);
+      if (!timeouts.empty()) next_event = std::min(next_event, timeouts.top().due_s);
+      if (!hedges.empty()) next_event = std::min(next_event, hedges.top().due_s);
+      if (injector != nullptr) next_event = std::min(next_event, injector->next_time());
       for (const auto& chip : chips_) {
         if (chip->in_transition(now_s) && !chip->queue().empty()) {
           next_event = std::min(next_event, chip->stall_until());
         }
       }
-      NTSERV_EXPECTS(std::isfinite(next_event),
-                     "idle fleet with requests unaccounted for");
+      if (!std::isfinite(next_event)) {
+        // A crashed chip that never recovers can strand its queue (and,
+        // health-blind, its in-flight work) with no future event: run
+        // out the clock so the stranded requests surface as in_flight on
+        // a truncated result instead of tripping the invariant below.
+        if (chips_down > 0) {
+          now_s = max_s;
+          continue;
+        }
+        NTSERV_EXPECTS(false, "idle fleet with requests unaccounted for " +
+                                  run_context(now_s, epoch_index, disposed, total));
+      }
       double target = std::max(now_s + 1.0 / base_f,
                                std::ceil(next_event * base_f) / base_f);
       if (governed_) target = std::min(target, epoch_start_s_ + epoch_len_s);
@@ -365,6 +745,12 @@ FleetResult ClusterFleet::run() {
 
   if (governed_) close_epochs(true);
 
+  // The availability ledger must tile: every offered request is exactly
+  // one of completed, shed, timed out, or still in flight (truncation).
+  NTSERV_ENSURES(offered == completed_total + shed + timed_out_count + pending.size(),
+                 "request accounting does not tile " +
+                     run_context(now_s, epoch_index, disposed, total));
+
   FleetResult r;
   r.workload = config_.profile.name;
   r.frequency = config_.frequency;
@@ -376,6 +762,27 @@ FleetResult ClusterFleet::run() {
   r.shed_rate = offered > 0 ? static_cast<double>(shed) / static_cast<double>(offered) : 0.0;
   r.steered = steered_;
   r.truncated = truncated;
+  r.completed_all = completed_total;
+  r.timed_out = timed_out_count;
+  r.hedged = hedged_count;
+  r.hedge_wins = hedge_wins;
+  r.redispatched = redispatched_count;
+  r.wasted_completions = wasted;
+  r.in_flight = pending.size();
+  r.faults_injected = faults_injected;
+  if (first_fault_s >= 0.0) {
+    r.first_fault = Second{first_fault_s};
+    if (recovered_at >= 0.0 && !truncated) {
+      r.recovered = true;
+      r.time_to_recover = Second{recovered_at - first_fault_s};
+    }
+  }
+  r.guardband_epochs = guardband_epochs;
+  // In-flight remainders at truncation, attributed to their tenants so
+  // the per-tenant ledgers tile too.
+  for (const auto& [id, pr] : pending) {
+    ++tenants_[static_cast<std::size_t>(pr.proto.tenant)].in_flight_at_end;
+  }
   r.span_seconds = Second{now_s};
   r.span_cycles = static_cast<Cycle>(std::llround(now_s * base_f));
   if (latency.count() > 0) {
@@ -390,6 +797,7 @@ FleetResult ClusterFleet::run() {
   }
   if (now_s > 0.0) {
     r.throughput = static_cast<double>(completed_total) / now_s;
+    r.goodput = static_cast<double>(good_completions) / now_s;
   }
   double busy_core_seconds = 0.0;
   double freq_seconds = 0.0, governed_seconds = 0.0;
@@ -430,6 +838,19 @@ FleetResult ClusterFleet::run() {
       tr.mean_wait = Second{state.wait_mean.mean()};
     }
     tr.sla_violations = state.sla_violations;
+    tr.completed_all = state.completed_all;
+    tr.timed_out = state.timed_out;
+    tr.hedged = state.hedged;
+    tr.redispatched = state.redispatched;
+    tr.in_flight = state.in_flight_at_end;
+    tr.degraded_sla_violations = state.degraded_sla_violations;
+    r.sla_violations += state.sla_violations;
+    r.degraded_sla_violations += state.degraded_sla_violations;
+    NTSERV_ENSURES(state.offered ==
+                       state.completed_all + state.shed + state.timed_out +
+                           state.in_flight_at_end,
+                   "tenant '" + state.spec.name + "' accounting does not tile " +
+                       run_context(now_s, epoch_index, disposed, total));
     for (const auto& chip : chips_) {
       tr.busy_core_seconds += chip->tenant_busy_seconds(static_cast<int>(t));
     }

@@ -51,6 +51,7 @@
 #include "dc/arrival.hpp"
 #include "dc/chip.hpp"
 #include "dc/latency_stats.hpp"
+#include "fault/fault.hpp"
 #include "pm/power_manager.hpp"
 #include "workload/profile.hpp"
 
@@ -90,6 +91,44 @@ struct TenantSpec {
   [[nodiscard]] ctrl::BudgetConfig resolved_budget() const;
 };
 
+/// Request-level resilience knobs (tail-at-scale style). All off by
+/// default: the healthy, fully-patient fleet of the earlier PRs.
+struct ResilienceConfig {
+  /// Health-aware failover: dispatch avoids crashed chips, and a crash
+  /// drains the victim's queue and re-dispatches its in-flight losses
+  /// onto healthy chips. Off = the dispatcher is health-blind — new work
+  /// keeps landing on the dead chip's queue and waits out the outage,
+  /// and in-flight requests restart on the same chip at recovery.
+  /// Nothing is lost either way; without failover the tail pays for the
+  /// whole outage.
+  bool failover = false;
+  /// Per-attempt client timeout (0 = none): an attempt not completed
+  /// within `timeout` of the instant it was offered to a chip is
+  /// abandoned. The client retries through the admission back-off
+  /// schedule (timeouts and admission rejections share the same
+  /// max_retries budget); once the budget is spent the request counts as
+  /// timed_out. A late completion of an abandoned attempt is discarded
+  /// (wasted work), never double-counted.
+  Second timeout{0.0};
+  /// Hedged requests: if a request has no completion hedge_delay after
+  /// its first admission, dispatch one duplicate to a *different*
+  /// healthy chip; first completion wins and the loser is cancelled
+  /// (dequeued, or discarded at completion if already in service). At
+  /// most one hedge per request.
+  bool hedging = false;
+  /// hedge_delay = hedge_multiplier x the running measured p95 once the
+  /// fleet has seen `hedge_warmup` measured completions; before that,
+  /// hedge_min_delay stands in.
+  double hedge_multiplier = 3.0;
+  Second hedge_min_delay{100e-6};
+  std::uint64_t hedge_warmup = 32;
+
+  [[nodiscard]] bool any() const {
+    return failover || hedging || timeout.value() > 0.0;
+  }
+  void validate() const;
+};
+
 /// Per-tenant slice of a fleet run.
 struct TenantResult {
   std::string name;
@@ -97,6 +136,14 @@ struct TenantResult {
   std::uint64_t offered = 0;
   std::uint64_t shed = 0;
   double shed_rate = 0.0;
+  std::uint64_t completed_all = 0;  ///< completions including warmup
+  std::uint64_t timed_out = 0;      ///< abandoned after the retry budget
+  std::uint64_t hedged = 0;         ///< requests that dispatched a hedge copy
+  std::uint64_t redispatched = 0;   ///< copies moved off a crashed chip
+  std::uint64_t in_flight = 0;      ///< undisposed at truncation (0 otherwise)
+  /// Measured SLA violations among requests whose lifetime overlapped an
+  /// active fault window (subset of sla_violations).
+  std::uint64_t degraded_sla_violations = 0;
   Second mean_latency{0.0};
   Second p50{0.0};
   Second p95{0.0};
@@ -164,6 +211,11 @@ struct FleetConfig {
   /// Power-aware packing bound: a chip accepts new work while its
   /// outstanding count is below depth_per_core * cores.
   double pack_depth_per_core = 2.0;
+  /// Fault schedule (crashes, recoveries, degradations). Empty = the
+  /// perfectly-healthy fleet of the earlier PRs, bit-identical to them.
+  fault::FaultConfig faults;
+  /// Request-level resilience: failover, timeouts, hedging.
+  ResilienceConfig resilience;
 
   void validate() const;
 
@@ -187,6 +239,31 @@ struct FleetResult {
   /// least-loaded choice (0 under the other policies).
   std::uint64_t steered = 0;
   bool truncated = false;             ///< hit max_cycles before completing
+
+  // ---- Availability / resilience (zero when faults & resilience off) ----
+  std::uint64_t completed_all = 0;    ///< completions including warmup
+  std::uint64_t timed_out = 0;        ///< requests abandoned after the retry budget
+  std::uint64_t hedged = 0;           ///< requests that dispatched a hedge copy
+  std::uint64_t hedge_wins = 0;       ///< requests whose hedge copy finished first
+  std::uint64_t redispatched = 0;     ///< copies moved off a crashed chip
+  std::uint64_t wasted_completions = 0; ///< late/loser copies whose work was discarded
+  std::uint64_t in_flight = 0;        ///< undisposed requests at truncation
+  /// Measured completions per second that met their tenant's p99 bound
+  /// (unbounded tenants count every measured completion).
+  double goodput = 0.0;
+  std::uint64_t sla_violations = 0;   ///< sum of the tenants' measured violations
+  /// Violations among requests whose lifetime overlapped an active fault
+  /// window (crashed or degraded chip anywhere in the fleet).
+  std::uint64_t degraded_sla_violations = 0;
+  std::uint64_t faults_injected = 0;  ///< fault events delivered during the run
+  Second first_fault{0.0};            ///< time of the first delivered event
+  /// The fleet recovered: all fault windows closed and every request
+  /// damaged by one was disposed before the run ended.
+  bool recovered = false;
+  /// first_fault -> recovery point (0 unless recovered).
+  Second time_to_recover{0.0};
+  /// Chip-epochs that ran with a nonzero guardband margin.
+  int guardband_epochs = 0;
   Second mean_latency{0.0};
   Second p50{0.0};
   Second p95{0.0};
@@ -249,7 +326,13 @@ class ClusterFleet {
     std::uint64_t offered = 0;
     std::uint64_t shed = 0;
     std::uint64_t completed_measured = 0;
+    std::uint64_t completed_all = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t hedged = 0;
+    std::uint64_t redispatched = 0;
     std::uint64_t sla_violations = 0;
+    std::uint64_t degraded_sla_violations = 0;
+    std::uint64_t in_flight_at_end = 0;
     StreamingPercentiles latency;
     RunningStats latency_mean;
     RunningStats wait_mean;
@@ -265,8 +348,13 @@ class ClusterFleet {
     }
   };
 
+  /// Chip for the next dispatch attempt; -1 when failover is on and no
+  /// healthy chip exists (the caller parks the request until a recovery).
   [[nodiscard]] int pick_server(const Request& req, double now_s);
-  [[nodiscard]] int least_loaded() const;
+  /// Least-outstanding chip; with `healthy_only`, crashed chips are
+  /// excluded and -1 means none are up. `exclude` skips one chip index
+  /// (hedge placement: the duplicate must race a different chip).
+  [[nodiscard]] int least_loaded(bool healthy_only = false, int exclude = -1) const;
   [[nodiscard]] bool any_core_busy() const;
 
   FleetConfig config_;

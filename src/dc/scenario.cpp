@@ -36,6 +36,8 @@ FleetConfig Scenario::fleet_config(Hertz f) const {
   cfg.policy = policy;
   cfg.arrival = arrival;
   cfg.tenants = tenants;
+  cfg.faults = faults;
+  cfg.resilience = resilience;
   cfg.requests = requests;
   cfg.warmup_requests = warmup_requests;
   cfg.warm_instructions = warm_instructions;
@@ -316,6 +318,71 @@ std::vector<Scenario> Scenario::registry() {
     batch.requests = 300;
     s.tenants = {interactive, batch};
     s.seed = 26;
+    all.push_back(s);
+  }
+  // ---- Fault tolerance (src/fault) ----
+  {
+    // A fail-stop crash in the middle of the diurnal day: chip 1 dies for
+    // ~0.4 ms (a third of the fleet) and recovers cold. Health-blind
+    // dispatch strands its queue and in-flight work for the whole outage
+    // — every stranded request blows through the 100 us bound — while
+    // failover + hedging re-place the losses and race the stragglers.
+    // bench/fig6_fault_tolerance runs both arms of exactly this scenario.
+    Scenario s;
+    s.name = "diurnal-chipfail";
+    s.description = "Web Serving diurnal, 3 chips, one fail-stop crash; failover + hedging";
+    s.workload = "Web Serving";
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 3;
+    TenantSpec web;
+    web.name = "web";
+    web.arrival.kind = ArrivalKind::kDiurnal;
+    web.arrival.rate = rate_for_load(0.5, 3, cores, 8'000);
+    web.arrival.diurnal_trough = 0.3;
+    web.arrival.diurnal_period = Second{2e-3};
+    web.qos_p99_limit = microseconds(100.0);
+    web.requests = 600;
+    s.tenants = {web};
+    s.faults.events = {
+        {0.6e-3, 1, fault::FaultKind::kCrash},
+        {1.0e-3, 1, fault::FaultKind::kRecover},
+    };
+    s.resilience.failover = true;
+    s.resilience.hedging = true;
+    s.resilience.hedge_multiplier = 3.0;
+    s.resilience.hedge_min_delay = microseconds(60.0);
+    s.seed = 27;
+    all.push_back(s);
+  }
+  {
+    // A detected error on every chip of an NTC-boost fleet: no caps, but
+    // each governor retreats into its guardband — FBB overdrive off, the
+    // supply margined up for a bounded number of epochs — and the energy
+    // overhead of that retreat is measured against the healthy run
+    // (bench/fig6_fault_tolerance arm b).
+    Scenario s;
+    s.name = "ntc-guardband-web";
+    s.description = "Web Serving diurnal, NTC-boost; detected errors engage the guardband";
+    s.workload = "Web Serving";
+    s.arrival.kind = ArrivalKind::kDiurnal;
+    s.arrival.rate = rate_for_load(0.6, 2, cores, 8'000);
+    s.arrival.diurnal_trough = 0.2;
+    s.arrival.diurnal_period = Second{2e-3};
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 2;
+    s.governor.kind = ctrl::GovernorKind::kNtcBoost;
+    s.governor.epoch_quanta = 2048;  // ~65 us epochs at 2 GHz base
+    s.governor.qos_p99_limit = microseconds(60.0);
+    s.admission.enabled = true;
+    s.admission.max_outstanding_per_core = 6.0;
+    s.faults.events = {
+        {0.5e-3, 0, fault::FaultKind::kDegrade, 1.0, 0},
+        {0.5e-3, 1, fault::FaultKind::kDegrade, 1.0, 0},
+        {0.55e-3, 0, fault::FaultKind::kRestore},
+        {0.55e-3, 1, fault::FaultKind::kRestore},
+    };
+    s.requests = 600;
+    s.seed = 28;
     all.push_back(s);
   }
   {

@@ -40,6 +40,10 @@ struct Scenario {
   /// chips' workload class (one binary per chip); they differ in
   /// arrivals, budgets, QoS bounds and steering class.
   std::vector<TenantSpec> tenants;
+  /// Fault schedule and request-level resilience (src/fault; both default
+  /// to the healthy, patient fleet).
+  fault::FaultConfig faults;
+  ResilienceConfig resilience;
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
   /// Per-cluster architectural warm budget (FleetConfig::warm_instructions);

@@ -1,6 +1,7 @@
 #include "dse/dse.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <memory>
 
@@ -8,6 +9,24 @@
 #include "sim/thread_pool.hpp"
 
 namespace ntserv::dse {
+
+namespace {
+
+// Satellite of the availability work: a truncated run hit its cycle cap,
+// so every downstream metric (tails, energy, violation counts) is partial.
+// Sweeps used to fold such runs in silently; now each one is flagged on
+// stderr (after the parallel section, so the order is deterministic) and
+// the figure drivers mark the row.
+void warn_truncated(const char* sweep_kind, const std::string& scenario,
+                    const std::string& run, const dc::FleetResult& result) {
+  if (!result.truncated) return;
+  std::fprintf(stderr,
+               "[ntserv::dse] warning: %s sweep of '%s': run %s truncated at "
+               "its cycle cap — reported metrics are partial\n",
+               sweep_kind, scenario.c_str(), run.c_str());
+}
+
+}  // namespace
 
 const char* to_string(Scope s) {
   switch (s) {
@@ -127,6 +146,9 @@ MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
 
   sweep.points.resize(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
+    char run[64];
+    std::snprintf(run, sizeof run, "f=%.0f MHz", grid[i].value() / 1e6);
+    warn_truncated("measured-QoS", sweep.scenario, run, fleet[i]);
     MeasuredQosPoint& p = sweep.points[i];
     p.frequency = grid[i];
     p.p50 = fleet[i].p50;
@@ -176,6 +198,9 @@ GovernorSweep sweep_governors(const dc::Scenario& scenario,
     sweep.points[i].governor = kinds[i];
     sweep.points[i].result = dc::run_scenario(s, f);
   });
+  for (const auto& p : sweep.points) {
+    warn_truncated("governor", sweep.scenario, to_string(p.governor), p.result);
+  }
   return sweep;
 }
 
@@ -303,6 +328,72 @@ ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
       sweep.points[i].dedicated[j - 1] = dc::run_scenario(s, f);
     }
   });
+  for (const auto& p : sweep.points) {
+    warn_truncated("consolidation", sweep.scenario,
+                   "consolidated @" + std::to_string(p.chips) + " chips",
+                   p.consolidated);
+    for (std::size_t t = 0; t < p.dedicated.size(); ++t) {
+      warn_truncated("consolidation", sweep.scenario,
+                     "dedicated '" + sweep.tenant_names[t] + "' @" +
+                         std::to_string(p.chips) + " chips",
+                     p.dedicated[t]);
+    }
+  }
+  return sweep;
+}
+
+std::vector<ResilienceArm> default_resilience_arms(const dc::Scenario& scenario) {
+  dc::ResilienceConfig failover_only;
+  failover_only.failover = true;
+  failover_only.timeout = scenario.resilience.timeout;
+  dc::ResilienceConfig full = scenario.resilience;
+  full.failover = true;
+  return {{"health-blind", dc::ResilienceConfig{}},
+          {"failover", failover_only},
+          {"full", full}};
+}
+
+const FaultPoint& FaultSweep::at(const std::string& label) const {
+  for (const auto& p : points) {
+    if (p.label == label) return p;
+  }
+  throw ModelError("fault sweep has no arm labelled '" + label + "'");
+}
+
+FaultSweep sweep_faults(const dc::Scenario& scenario,
+                        const std::vector<ResilienceArm>& arms, Hertz f) {
+  return sweep_faults(scenario, arms, f, sim::ThreadPool::default_threads());
+}
+
+FaultSweep sweep_faults(const dc::Scenario& scenario,
+                        const std::vector<ResilienceArm>& arms, Hertz f,
+                        int threads) {
+  NTSERV_EXPECTS(!arms.empty(), "fault sweep needs at least one resilience arm");
+  NTSERV_EXPECTS(scenario.faults.any(),
+                 "fault sweep needs a scenario with a fault schedule");
+  FaultSweep sweep;
+  sweep.scenario = scenario.name;
+  sweep.workload = scenario.workload;
+  sweep.points.resize(arms.size());
+
+  // Task 0 is the healthy reference (faults stripped, first arm's
+  // resilience); tasks 1..N are the arms on the shared fault trace.
+  sim::parallel_for_index(threads, arms.size() + 1, [&](std::size_t task) {
+    dc::Scenario s = scenario;
+    if (task == 0) {
+      s.faults = fault::FaultConfig{};
+      s.resilience = arms.front().resilience;
+      sweep.healthy = dc::run_scenario(s, f);
+    } else {
+      s.resilience = arms[task - 1].resilience;
+      sweep.points[task - 1].label = arms[task - 1].label;
+      sweep.points[task - 1].result = dc::run_scenario(s, f);
+    }
+  });
+  warn_truncated("fault", sweep.scenario, "healthy reference", sweep.healthy);
+  for (const auto& p : sweep.points) {
+    warn_truncated("fault", sweep.scenario, "arm '" + p.label + "'", p.result);
+  }
   return sweep;
 }
 

@@ -165,6 +165,62 @@ struct GovernorSweep {
                                             const std::vector<ctrl::GovernorKind>& kinds,
                                             Hertz f);
 
+// ---- Fault-tolerance sweeps (src/fault + dc resilience) ----
+
+/// One resilience posture to run a faulted scenario under. The scenario's
+/// fault schedule is kept; only ResilienceConfig is overridden per arm, so
+/// a sweep contrasts e.g. a health-blind fleet against failover and
+/// failover+hedging on the *same* deterministic failure trace.
+struct ResilienceArm {
+  std::string label;
+  dc::ResilienceConfig resilience;
+};
+
+/// The canonical three-arm ladder derived from a scenario's own resilience
+/// config: health-blind baseline, failover only, and the scenario's full
+/// posture (failover plus whatever timeouts/hedging it configures).
+[[nodiscard]] std::vector<ResilienceArm> default_resilience_arms(
+    const dc::Scenario& scenario);
+
+/// One arm's outcome on the faulted scenario.
+struct FaultPoint {
+  std::string label;
+  dc::FleetResult result;
+
+  /// Requests that neither completed nor were accounted as shed/timed-out
+  /// and are not still in flight would violate the fleet's conservation
+  /// invariant; "lost" here means the visible degradations: shed plus
+  /// timed-out plus stranded in-flight work.
+  [[nodiscard]] std::uint64_t lost() const {
+    return result.shed + result.timed_out + result.in_flight;
+  }
+};
+
+/// A resilience-arm sweep of one faulted dc::Scenario, next to a healthy
+/// reference run (fault schedule stripped, first arm's resilience).
+struct FaultSweep {
+  std::string scenario;
+  std::string workload;
+  dc::FleetResult healthy;         ///< no faults, first arm's resilience
+  std::vector<FaultPoint> points;  ///< one per arm, in arm order
+
+  /// Point for a given arm label; throws if the sweep did not run it.
+  [[nodiscard]] const FaultPoint& at(const std::string& label) const;
+};
+
+/// Run one faulted scenario under each resilience arm (plus the healthy
+/// reference), fanning the runs out over `threads` workers (default
+/// NTSERV_THREADS). Every run is an independent fleet simulation with the
+/// scenario's own seed — the arrival stream *and the fault schedule* are
+/// bit-identical across arms and for any thread count, so differences
+/// between arms are purely the resilience machinery.
+[[nodiscard]] FaultSweep sweep_faults(const dc::Scenario& scenario,
+                                      const std::vector<ResilienceArm>& arms,
+                                      Hertz f, int threads);
+[[nodiscard]] FaultSweep sweep_faults(const dc::Scenario& scenario,
+                                      const std::vector<ResilienceArm>& arms,
+                                      Hertz f);
+
 /// Consolidation headroom (Sec. V-C): with QoS met at `qos_floor` but the
 /// efficiency optimum at `f_opt` > floor, the spare throughput factor
 /// UIPS(f_opt)/UIPS(floor) bounds how much additional co-located load the

@@ -1,0 +1,118 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ntserv::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kRestore: return "restore";
+  }
+  return "unknown";
+}
+
+void MtbfConfig::validate() const {
+  if (!enabled) return;
+  NTSERV_EXPECTS(horizon.value() > 0.0, "MTBF schedule needs a positive horizon");
+  NTSERV_EXPECTS(mttf.value() >= 0.0 && mttr.value() >= 0.0,
+                 "MTTF/MTTR must be non-negative");
+  NTSERV_EXPECTS(mttf.value() == 0.0 || mttr.value() > 0.0,
+                 "a crash process needs a positive MTTR");
+  NTSERV_EXPECTS(degrade_mttf.value() == 0.0 || degrade_mttr.value() > 0.0,
+                 "a degrade process needs a positive degrade MTTR");
+  NTSERV_EXPECTS(degrade_freq_cap > 0.0 && degrade_freq_cap <= 1.0,
+                 "degrade frequency cap must be in (0,1]");
+}
+
+void FaultConfig::validate() const {
+  mtbf.validate();
+  for (const auto& e : events) {
+    NTSERV_EXPECTS(e.at_s >= 0.0, "fault events cannot predate the run");
+    NTSERV_EXPECTS(e.chip >= 0, "fault events need a non-negative chip index");
+    NTSERV_EXPECTS(e.freq_cap > 0.0 && e.freq_cap <= 1.0,
+                   "degrade frequency cap must be in (0,1]");
+  }
+}
+
+namespace {
+
+/// Sample one chip's alternating fail/repair renewal process out to the
+/// horizon. The stream is a pure function of (seed, salt, chip), so the
+/// schedule never depends on chip construction order or thread count.
+void sample_renewal(std::vector<FaultEvent>& out, int chip, std::uint64_t seed,
+                    std::uint64_t salt, double up_mean_s, double down_mean_s,
+                    double horizon_s, FaultKind fail, FaultKind repair,
+                    double freq_cap, int core_cap) {
+  if (up_mean_s <= 0.0) return;
+  Xoshiro256StarStar rng{derive_seed(seed, salt + static_cast<std::uint64_t>(chip))};
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(1.0 / up_mean_s);
+    if (t >= horizon_s) return;
+    FaultEvent down;
+    down.at_s = t;
+    down.chip = chip;
+    down.kind = fail;
+    down.freq_cap = freq_cap;
+    down.core_cap = core_cap;
+    out.push_back(down);
+    t += rng.exponential(1.0 / down_mean_s);
+    if (t >= horizon_s) return;  // never recovers inside the run
+    FaultEvent up = down;
+    up.at_s = t;
+    up.kind = repair;
+    out.push_back(up);
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed, int chips) {
+  config.validate();
+  NTSERV_EXPECTS(chips > 0, "fault injector needs at least one chip");
+  schedule_ = config.events;
+  for (auto& e : schedule_) {
+    NTSERV_EXPECTS(e.chip < chips, "scripted fault event targets a chip outside the fleet");
+  }
+  if (config.mtbf.enabled) {
+    const double horizon = config.mtbf.horizon.value();
+    for (int c = 0; c < chips; ++c) {
+      sample_renewal(schedule_, c, seed, 0xFA17ull, config.mtbf.mttf.value(),
+                     config.mtbf.mttr.value(), horizon, FaultKind::kCrash,
+                     FaultKind::kRecover, 1.0, 0);
+      sample_renewal(schedule_, c, seed, 0xD366ull, config.mtbf.degrade_mttf.value(),
+                     config.mtbf.degrade_mttr.value(), horizon, FaultKind::kDegrade,
+                     FaultKind::kRestore, config.mtbf.degrade_freq_cap,
+                     config.mtbf.degrade_core_cap);
+    }
+  }
+  // Stable total order: time, then chip, then kind — the fleet loop
+  // delivers equal-time events in this order, deterministically.
+  std::sort(schedule_.begin(), schedule_.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.at_s != b.at_s) return a.at_s < b.at_s;
+    if (a.chip != b.chip) return a.chip < b.chip;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+}
+
+double FaultInjector::next_time() const {
+  return exhausted() ? std::numeric_limits<double>::infinity() : schedule_[next_].at_s;
+}
+
+bool FaultInjector::due(double now_s) const {
+  return !exhausted() && schedule_[next_].at_s <= now_s;
+}
+
+const FaultEvent& FaultInjector::pop() {
+  NTSERV_EXPECTS(!exhausted(), "FaultInjector::pop past the end of the schedule");
+  return schedule_[next_++];
+}
+
+}  // namespace ntserv::fault

@@ -1,0 +1,103 @@
+// Deterministic fault injection for the serving fleet.
+//
+// The paper's operating regime — near-threshold 28nm FD-SOI — is exactly
+// where robustness stops being optional: src/tech encodes the
+// Vmin/SRAM-margin floor and bulk timing failures below ~0.6 V, so a
+// production NTC fleet must expect chips to die (fail-stop crashes),
+// limp (Vmin guardband escalation capping frequency or disabling cores),
+// and recover. This module supplies those events to the fleet simulation
+// (dc::ClusterFleet) as a *deterministic schedule*: either a scripted
+// event list, or per-chip MTTF/MTTR exponential processes sampled at
+// construction from derive_seed-keyed streams — a pure function of
+// (seed, chip index), so a faulted run is bit-identical for any
+// NTSERV_THREADS and any sweep ordering, exactly like the arrival
+// processes.
+//
+// The injector only *schedules*; the fleet interprets the events
+// (dc/fleet.hpp): crash/recover toggles a chip's availability (and, with
+// failover enabled, drains its queue and re-dispatches in-flight
+// losses), degrade/restore applies frequency/core caps and notifies the
+// chip's governor, which enters its guardband mode (ctrl/governor.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ntserv::fault {
+
+enum class FaultKind {
+  kCrash,    ///< fail-stop: the chip stops serving, state lost
+  kRecover,  ///< a crashed chip returns to service (cold queue)
+  kDegrade,  ///< limping chip: frequency/core caps + governor guardband
+  kRestore,  ///< degradation caps lifted (guardband relaxes on its own)
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One scheduled fault event, in fleet wall seconds.
+struct FaultEvent {
+  double at_s = 0.0;
+  int chip = 0;
+  FaultKind kind = FaultKind::kCrash;
+  /// kDegrade: chip frequency cap as a fraction of its nominal clock
+  /// (1.0 = no frequency cap — a pure "detected error" event that only
+  /// engages the governor's guardband).
+  double freq_cap = 1.0;
+  /// kDegrade: usable core slots on the chip (<= 0 = no core cap).
+  int core_cap = 0;
+};
+
+/// Stochastic fail/recover model: each chip alternates exponential
+/// up-times (mean `mttf`) and down-times (mean `mttr`), with an optional
+/// independent degrade process. Events are pre-sampled out to `horizon`
+/// at construction from per-chip derive_seed streams.
+struct MtbfConfig {
+  bool enabled = false;
+  Second mttf{0.0};
+  Second mttr{0.0};
+  /// Degradation process (0 disables): mean time between degrade events
+  /// and mean degraded dwell before restore.
+  Second degrade_mttf{0.0};
+  Second degrade_mttr{0.0};
+  double degrade_freq_cap = 0.7;
+  int degrade_core_cap = 0;
+  /// Events are generated up to this horizon (must be > 0 when enabled).
+  Second horizon{0.0};
+
+  void validate() const;
+};
+
+struct FaultConfig {
+  /// Scripted events (any order; the injector sorts them).
+  std::vector<FaultEvent> events;
+  /// Stochastic schedule merged with the scripted events.
+  MtbfConfig mtbf;
+
+  [[nodiscard]] bool any() const { return !events.empty() || mtbf.enabled; }
+  void validate() const;
+};
+
+/// The merged, time-sorted fault schedule of one fleet run. Construction
+/// resolves all randomness (per-chip derive_seed streams), so iteration
+/// is pure table walking and the schedule is reproducible bit-for-bit.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, std::uint64_t seed, int chips);
+
+  [[nodiscard]] const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  [[nodiscard]] bool exhausted() const { return next_ >= schedule_.size(); }
+  /// Time of the next undelivered event; +inf when exhausted.
+  [[nodiscard]] double next_time() const;
+  /// True when an event is due at or before `now_s`.
+  [[nodiscard]] bool due(double now_s) const;
+  /// Deliver the next event (caller checks due()/exhausted()).
+  const FaultEvent& pop();
+
+ private:
+  std::vector<FaultEvent> schedule_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace ntserv::fault

@@ -38,6 +38,8 @@
 
 #include "qos/qos.hpp"
 
+#include "fault/fault.hpp"
+
 #include "ctrl/admission.hpp"
 #include "ctrl/budget.hpp"
 #include "ctrl/governor.hpp"

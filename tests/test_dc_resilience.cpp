@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dc/scenario.hpp"
+#include "workload/profile.hpp"
+
+namespace ntserv::dc {
+namespace {
+
+/// Small, fast two-chip fleet shared by the behavioural tests.
+FleetConfig small_config() {
+  FleetConfig cfg;
+  cfg.profile = workload::WorkloadProfile::web_search();
+  cfg.frequency = ghz(2.0);
+  cfg.servers = 2;
+  cfg.user_instructions_per_request = 3'000;
+  cfg.arrival.kind = ArrivalKind::kPoisson;
+  cfg.arrival.rate = 20'000.0;
+  cfg.requests = 80;
+  cfg.warmup_requests = 10;
+  cfg.warm_instructions = 60'000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+void expect_tiling(const FleetResult& r) {
+  EXPECT_EQ(r.offered, r.completed_all + r.shed + r.timed_out + r.in_flight);
+  std::uint64_t offered = 0, completed = 0, shed = 0, timed_out = 0, in_flight = 0;
+  for (const auto& t : r.tenants) {
+    EXPECT_EQ(t.offered, t.completed_all + t.shed + t.timed_out + t.in_flight)
+        << "tenant " << t.name;
+    offered += t.offered;
+    completed += t.completed_all;
+    shed += t.shed;
+    timed_out += t.timed_out;
+    in_flight += t.in_flight;
+  }
+  EXPECT_EQ(offered, r.offered);
+  EXPECT_EQ(completed, r.completed_all);
+  EXPECT_EQ(shed, r.shed);
+  EXPECT_EQ(timed_out, r.timed_out);
+  EXPECT_EQ(in_flight, r.in_flight);
+}
+
+TEST(Resilience, HealthyFleetIsBitIdenticalWithResilienceArmed) {
+  // Failover/timeout/hedging must be pure overhead-free bookkeeping while
+  // nothing fails: same completions, same tail, same span.
+  auto cfg = small_config();
+  const FleetResult plain = ClusterFleet{cfg}.run();
+  cfg.resilience.failover = true;
+  cfg.resilience.timeout = Second{5e-3};  // far above any healthy latency
+  const FleetResult armed = ClusterFleet{cfg}.run();
+  EXPECT_EQ(plain.completed, armed.completed);
+  EXPECT_DOUBLE_EQ(plain.p99.value(), armed.p99.value());
+  EXPECT_EQ(plain.span_cycles, armed.span_cycles);
+  EXPECT_EQ(armed.timed_out, 0u);
+  EXPECT_EQ(armed.redispatched, 0u);
+}
+
+TEST(Resilience, CrashWithoutFailoverPaysTheOutageInLatency) {
+  auto cfg = small_config();
+  const FleetResult healthy = ClusterFleet{cfg}.run();
+  cfg.faults.events = {{1.0e-3, 0, fault::FaultKind::kCrash},
+                       {2.0e-3, 0, fault::FaultKind::kRecover}};
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.faults_injected, 2u);
+  // Nothing is lost: in-flight work restarts locally at recovery and the
+  // dead chip's queue waits out the outage...
+  EXPECT_EQ(r.offered, r.completed_all);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.timed_out, 0u);
+  EXPECT_EQ(r.redispatched, 0u);
+  // ...so the ~1ms outage shows up in the tail instead.
+  EXPECT_GT(r.p99.value(), healthy.p99.value() * 5.0);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_GT(r.time_to_recover.value(), 0.0);
+  expect_tiling(r);
+}
+
+TEST(Resilience, FailoverKeepsTheTailNearHealthy) {
+  auto cfg = small_config();
+  const FleetResult healthy = ClusterFleet{cfg}.run();
+  cfg.faults.events = {{1.0e-3, 0, fault::FaultKind::kCrash},
+                       {2.0e-3, 0, fault::FaultKind::kRecover}};
+  const FleetResult blind = ClusterFleet{cfg}.run();
+  cfg.resilience.failover = true;
+  const FleetResult failover = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(failover.truncated);
+  EXPECT_EQ(failover.offered, failover.completed_all);
+  EXPECT_EQ(failover.timed_out, 0u);
+  // The crash drains the victim onto the healthy chip, so the outage
+  // barely moves the tail while the blind fleet's explodes.
+  EXPECT_LT(failover.p99.value(), blind.p99.value() / 2.0);
+  EXPECT_LT(failover.p99.value(), healthy.p99.value() * 3.0);
+  expect_tiling(failover);
+}
+
+TEST(Resilience, UnrecoveredCrashStrandsInFlightWorkWithoutFailover) {
+  auto cfg = small_config();
+  cfg.faults.events = {{1.0e-3, 0, fault::FaultKind::kCrash}};  // never recovers
+  cfg.max_cycles = 40'000'000;  // bound the wait for work that cannot finish
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_TRUE(r.truncated);
+  EXPECT_GT(r.in_flight, 0u);
+  EXPECT_FALSE(r.recovered);
+  expect_tiling(r);
+}
+
+TEST(Resilience, FailoverSurvivesAnUnrecoveredCrash) {
+  auto cfg = small_config();
+  cfg.faults.events = {{1.0e-3, 0, fault::FaultKind::kCrash}};
+  cfg.resilience.failover = true;
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.offered, r.completed_all);
+  EXPECT_EQ(r.in_flight, 0u);
+  expect_tiling(r);
+}
+
+TEST(Resilience, TimeoutsExhaustTheRetryBudgetOnADarkFleet) {
+  auto cfg = small_config();
+  cfg.servers = 1;
+  cfg.arrival.rate = 10'000.0;
+  cfg.requests = 30;
+  cfg.warmup_requests = 5;
+  cfg.faults.events = {{0.5e-3, 0, fault::FaultKind::kCrash}};  // forever
+  cfg.resilience.timeout = Second{50e-6};
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(r.truncated);
+  // Every request that had not finished by the crash times out, retries
+  // through the back-off budget onto the same dead chip, and gives up.
+  EXPECT_GT(r.timed_out, 0u);
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.offered, r.completed_all + r.timed_out + r.shed);
+  expect_tiling(r);
+}
+
+TEST(Resilience, HedgingDuplicatesSlowRequestsAndFirstCompletionWins) {
+  auto cfg = small_config();
+  cfg.arrival.rate = 60'000.0;  // enough queueing for hedges to fire
+  cfg.resilience.hedging = true;
+  cfg.resilience.hedge_min_delay = Second{5e-6};
+  cfg.resilience.hedge_warmup = 1'000'000;  // pin the delay at hedge_min_delay
+  const FleetResult r = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.hedged, 0u);
+  EXPECT_LE(r.hedged, r.offered);  // at most one hedge per request
+  EXPECT_LE(r.hedge_wins, r.hedged);
+  // Every loser copy is either dequeued in time or its completion is
+  // discarded as wasted work; requests are never double-counted.
+  EXPECT_EQ(r.offered, r.completed_all);
+  EXPECT_LE(r.wasted_completions, r.hedged);
+  expect_tiling(r);
+}
+
+TEST(Resilience, DegradationFrequencyCapSlowsTheFleet) {
+  auto cfg = small_config();
+  cfg.servers = 1;
+  cfg.arrival.rate = 10'000.0;
+  const FleetResult healthy = ClusterFleet{cfg}.run();
+  // Deep whole-run cap (0.15 of nominal -> 0.3 GHz). The slowdown is
+  // sub-linear in frequency — web search is memory-bound, which is the
+  // paper's NTC argument — so the latency ratio is well under 1/0.15.
+  cfg.faults.events = {{1e-6, 0, fault::FaultKind::kDegrade, 0.15, 0}};
+  const FleetResult degraded = ClusterFleet{cfg}.run();
+  EXPECT_FALSE(degraded.truncated);
+  EXPECT_EQ(degraded.offered, degraded.completed_all);
+  EXPECT_GT(degraded.mean_latency.value(), healthy.mean_latency.value() * 1.5);
+  EXPECT_GT(degraded.p99.value(), healthy.p99.value() * 1.3);
+  expect_tiling(degraded);
+}
+
+TEST(Resilience, GuardbandChargesEnergyAndRecoversToThePin) {
+  Scenario s = Scenario::by_name("ntc-guardband-web");
+  Scenario healthy = s;
+  healthy.faults = fault::FaultConfig{};
+  const FleetResult faulted = run_scenario(s, ghz(2.0));
+  const FleetResult clean = run_scenario(healthy, ghz(2.0));
+  EXPECT_FALSE(faulted.truncated);
+  EXPECT_GT(faulted.guardband_epochs, 0);
+  EXPECT_EQ(clean.guardband_epochs, 0);
+  // Bound: hold + ceil(margin/step) epochs per error event.
+  const int bound = s.governor.guardband_hold_epochs + 4;  // ceil(0.12/0.03)
+  EXPECT_LE(faulted.guardband_epochs, 2 * bound);  // one error event per chip
+  EXPECT_GT(faulted.energy.value(), clean.energy.value());
+  // The margin has fully relaxed by the end of the run on every chip.
+  ASSERT_FALSE(faulted.epochs.empty());
+  for (auto it = faulted.epochs.rbegin();
+       it != faulted.epochs.rend() && it->epoch == faulted.epochs.back().epoch; ++it) {
+    EXPECT_DOUBLE_EQ(it->margin, 0.0);
+  }
+  expect_tiling(faulted);
+}
+
+TEST(Resilience, FaultedRunsAreDeterministicAcrossThreadCounts) {
+  Scenario s = Scenario::by_name("diurnal-chipfail");
+  s.requests = 300;  // span still covers the scripted crash window
+  s.warmup_requests = 20;
+  std::vector<Scenario> batch{s, s};
+  const auto one = run_scenarios(batch, ghz(2.0), 1);
+  const auto four = run_scenarios(batch, ghz(2.0), 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_DOUBLE_EQ(one[i].p99.value(), four[i].p99.value());
+    EXPECT_EQ(one[i].completed_all, four[i].completed_all);
+    EXPECT_EQ(one[i].redispatched, four[i].redispatched);
+    EXPECT_EQ(one[i].hedged, four[i].hedged);
+    EXPECT_EQ(one[i].span_cycles, four[i].span_cycles);
+  }
+}
+
+// ---- Satellite: randomized accounting property test ----
+//
+// offered == completed_all + shed + timed_out + in_flight must tile at
+// the fleet level and per tenant for *any* combination of load, policy,
+// admission, faults and resilience — the conservation law of the serving
+// layer. The generator is seeded, so the "random" sample is stable.
+TEST(ResilienceProperty, AccountingTilesAcrossRandomizedScenarios) {
+  Xoshiro256StarStar rng{derive_seed(0xACC7, 0)};
+  for (int trial = 0; trial < 14; ++trial) {
+    FleetConfig cfg;
+    cfg.profile = workload::WorkloadProfile::web_search();
+    cfg.frequency = ghz(2.0);
+    cfg.servers = 1 + static_cast<int>(rng() % 3);
+    cfg.user_instructions_per_request = 3'000;
+    cfg.arrival.kind = ArrivalKind::kPoisson;
+    cfg.arrival.rate = 8'000.0 + 5'000.0 * static_cast<double>(rng() % 8);
+    cfg.requests = 60 + rng() % 60;
+    cfg.warmup_requests = 8;
+    cfg.warm_instructions = 60'000;
+    cfg.seed = rng();
+    cfg.policy = rng() % 2 == 0 ? BalancePolicy::kLeastLoaded
+                                     : BalancePolicy::kRoundRobin;
+    if (rng() % 2 == 0) {
+      cfg.admission.enabled = true;
+      cfg.admission.max_outstanding_per_core = 2.0;
+    }
+    // Fault schedule: none / scripted crash(+maybe recover) / stochastic.
+    switch (rng() % 3) {
+      case 1: {
+        const int chip = static_cast<int>(rng() % cfg.servers);
+        const double at = 0.3e-3 + 1e-4 * static_cast<double>(rng() % 10);
+        cfg.faults.events.push_back({at, chip, fault::FaultKind::kCrash});
+        if (rng() % 2 == 0) {
+          cfg.faults.events.push_back({at + 0.8e-3, chip, fault::FaultKind::kRecover});
+        }
+        break;
+      }
+      case 2:
+        cfg.faults.mtbf.enabled = true;
+        cfg.faults.mtbf.mttf = Second{2.0e-3};
+        cfg.faults.mtbf.mttr = Second{0.4e-3};
+        cfg.faults.mtbf.horizon = Second{20e-3};
+        break;
+      default: break;
+    }
+    // Resilience posture: none / failover / failover+timeout+hedging.
+    switch (rng() % 3) {
+      case 1: cfg.resilience.failover = true; break;
+      case 2:
+        cfg.resilience.failover = true;
+        cfg.resilience.timeout = Second{150e-6};
+        cfg.resilience.hedging = true;
+        cfg.resilience.hedge_min_delay = Second{20e-6};
+        cfg.resilience.hedge_warmup = 1'000'000;
+        break;
+      default: break;
+    }
+    // Sometimes split the load across two tenants to exercise the
+    // per-tenant tiling.
+    if (rng() % 2 == 0) {
+      TenantSpec a, b;
+      a.name = "a";
+      a.arrival = cfg.arrival;
+      a.user_instructions_per_request = 3'000;
+      a.requests = cfg.requests / 2;
+      a.warmup_requests = 4;
+      b.name = "b";
+      b.arrival = cfg.arrival;
+      b.arrival.rate *= 0.5;
+      b.user_instructions_per_request = 3'000;
+      b.requests = cfg.requests / 2;
+      b.warmup_requests = 4;
+      cfg.tenants = {a, b};
+    }
+    cfg.max_cycles = 80'000'000;  // unrecovered crashes truncate quickly
+
+    const FleetResult r = ClusterFleet{cfg}.run();
+    SCOPED_TRACE("trial " + std::to_string(trial) + " servers " +
+                 std::to_string(cfg.servers) + " seed " + std::to_string(cfg.seed));
+    expect_tiling(r);
+    if (!r.truncated) EXPECT_EQ(r.in_flight, 0u);
+  }
+}
+
+TEST(Resilience, ValidationRejectsBadConfigs) {
+  {
+    auto cfg = small_config();
+    cfg.resilience.timeout = Second{-1.0};
+    EXPECT_THROW(ClusterFleet{cfg}, ModelError);
+  }
+  {
+    auto cfg = small_config();
+    cfg.resilience.hedging = true;
+    cfg.resilience.hedge_multiplier = 0.0;
+    EXPECT_THROW(ClusterFleet{cfg}, ModelError);
+  }
+  {
+    auto cfg = small_config();  // 2 servers; event names chip 5
+    cfg.faults.events = {{1e-3, 5, fault::FaultKind::kCrash}};
+    EXPECT_THROW(ClusterFleet{cfg}, ModelError);
+  }
+}
+
+}  // namespace
+}  // namespace ntserv::dc

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+
+namespace ntserv::fault {
+namespace {
+
+TEST(FaultInjector, ScriptedEventsAreTimeSorted) {
+  FaultConfig cfg;
+  cfg.events = {{2.0e-3, 0, FaultKind::kRecover},
+                {0.5e-3, 1, FaultKind::kCrash},
+                {1.0e-3, 0, FaultKind::kCrash}};
+  FaultInjector inj{cfg, 7, 2};
+  ASSERT_EQ(inj.schedule().size(), 3u);
+  EXPECT_DOUBLE_EQ(inj.schedule()[0].at_s, 0.5e-3);
+  EXPECT_DOUBLE_EQ(inj.schedule()[1].at_s, 1.0e-3);
+  EXPECT_DOUBLE_EQ(inj.schedule()[2].at_s, 2.0e-3);
+}
+
+TEST(FaultInjector, SimultaneousEventsBreakTiesByChipThenKind) {
+  FaultConfig cfg;
+  cfg.events = {{1.0e-3, 1, FaultKind::kCrash},
+                {1.0e-3, 0, FaultKind::kDegrade},
+                {1.0e-3, 0, FaultKind::kCrash}};
+  FaultInjector inj{cfg, 7, 2};
+  EXPECT_EQ(inj.schedule()[0].chip, 0);
+  EXPECT_EQ(inj.schedule()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(inj.schedule()[1].chip, 0);
+  EXPECT_EQ(inj.schedule()[1].kind, FaultKind::kDegrade);
+  EXPECT_EQ(inj.schedule()[2].chip, 1);
+}
+
+TEST(FaultInjector, DeliveryWalksTheSchedule) {
+  FaultConfig cfg;
+  cfg.events = {{1.0e-3, 0, FaultKind::kCrash}, {2.0e-3, 0, FaultKind::kRecover}};
+  FaultInjector inj{cfg, 1, 1};
+  EXPECT_FALSE(inj.exhausted());
+  EXPECT_DOUBLE_EQ(inj.next_time(), 1.0e-3);
+  EXPECT_FALSE(inj.due(0.5e-3));
+  EXPECT_TRUE(inj.due(1.0e-3));
+  EXPECT_EQ(inj.pop().kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(inj.next_time(), 2.0e-3);
+  EXPECT_EQ(inj.pop().kind, FaultKind::kRecover);
+  EXPECT_TRUE(inj.exhausted());
+  EXPECT_TRUE(std::isinf(inj.next_time()));
+  EXPECT_FALSE(inj.due(std::numeric_limits<double>::max()));
+}
+
+MtbfConfig small_mtbf() {
+  MtbfConfig m;
+  m.enabled = true;
+  m.mttf = Second{1.0e-3};
+  m.mttr = Second{0.2e-3};
+  m.horizon = Second{10.0e-3};
+  return m;
+}
+
+TEST(FaultInjector, MtbfScheduleAlternatesCrashAndRecoverPerChip) {
+  FaultConfig cfg;
+  cfg.mtbf = small_mtbf();
+  FaultInjector inj{cfg, 42, 3};
+  ASSERT_FALSE(inj.schedule().empty());
+  for (int chip = 0; chip < 3; ++chip) {
+    FaultKind expect = FaultKind::kCrash;
+    double last = 0.0;
+    for (const auto& e : inj.schedule()) {
+      if (e.chip != chip) continue;
+      EXPECT_EQ(e.kind, expect);
+      EXPECT_GT(e.at_s, last);
+      EXPECT_LE(e.at_s, cfg.mtbf.horizon.value());
+      last = e.at_s;
+      expect = expect == FaultKind::kCrash ? FaultKind::kRecover : FaultKind::kCrash;
+    }
+  }
+}
+
+TEST(FaultInjector, MtbfScheduleIsSeedDeterministic) {
+  FaultConfig cfg;
+  cfg.mtbf = small_mtbf();
+  FaultInjector a{cfg, 42, 2};
+  FaultInjector b{cfg, 42, 2};
+  ASSERT_EQ(a.schedule().size(), b.schedule().size());
+  for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.schedule()[i].at_s, b.schedule()[i].at_s);
+    EXPECT_EQ(a.schedule()[i].chip, b.schedule()[i].chip);
+    EXPECT_EQ(a.schedule()[i].kind, b.schedule()[i].kind);
+  }
+  FaultInjector c{cfg, 43, 2};
+  bool differs = a.schedule().size() != c.schedule().size();
+  for (std::size_t i = 0; !differs && i < a.schedule().size(); ++i) {
+    differs = a.schedule()[i].at_s != c.schedule()[i].at_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, ChipStreamsAreIndependent) {
+  // Chip k's events must not depend on how many chips the fleet has:
+  // per-chip derive_seed streams, not one shared stream.
+  FaultConfig cfg;
+  cfg.mtbf = small_mtbf();
+  FaultInjector two{cfg, 42, 2};
+  FaultInjector four{cfg, 42, 4};
+  for (int chip = 0; chip < 2; ++chip) {
+    std::vector<double> a, b;
+    for (const auto& e : two.schedule()) {
+      if (e.chip == chip) a.push_back(e.at_s);
+    }
+    for (const auto& e : four.schedule()) {
+      if (e.chip == chip) b.push_back(e.at_s);
+    }
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(FaultInjector, DegradeProcessEmitsCapsAndRestores) {
+  FaultConfig cfg;
+  cfg.mtbf.enabled = true;
+  cfg.mtbf.mttf = Second{100.0};  // effectively no crashes inside horizon
+  cfg.mtbf.mttr = Second{1.0};
+  cfg.mtbf.degrade_mttf = Second{0.5e-3};
+  cfg.mtbf.degrade_mttr = Second{0.1e-3};
+  cfg.mtbf.degrade_freq_cap = 0.6;
+  cfg.mtbf.degrade_core_cap = 2;
+  cfg.mtbf.horizon = Second{5.0e-3};
+  FaultInjector inj{cfg, 9, 1};
+  int degrades = 0, restores = 0;
+  for (const auto& e : inj.schedule()) {
+    if (e.kind == FaultKind::kDegrade) {
+      ++degrades;
+      EXPECT_DOUBLE_EQ(e.freq_cap, 0.6);
+      EXPECT_EQ(e.core_cap, 2);
+    }
+    if (e.kind == FaultKind::kRestore) ++restores;
+  }
+  EXPECT_GT(degrades, 0);
+  EXPECT_GE(degrades, restores);
+  EXPECT_LE(degrades - restores, 1);
+}
+
+TEST(FaultConfig, AnyReflectsContent) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  cfg.events.push_back({1e-3, 0, FaultKind::kCrash});
+  EXPECT_TRUE(cfg.any());
+  cfg.events.clear();
+  cfg.mtbf = small_mtbf();
+  EXPECT_TRUE(cfg.any());
+}
+
+TEST(FaultConfig, ValidationRejectsBadConfigs) {
+  {
+    FaultConfig cfg;
+    cfg.events.push_back({-1.0, 0, FaultKind::kCrash});
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    FaultConfig cfg;
+    cfg.events.push_back({1e-3, -1, FaultKind::kCrash});
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    FaultConfig cfg;
+    cfg.events.push_back({1e-3, 0, FaultKind::kDegrade, 1.5, 0});
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    FaultConfig cfg;
+    cfg.mtbf.enabled = true;  // missing mttf/mttr/horizon
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    FaultConfig cfg;
+    cfg.mtbf = small_mtbf();
+    cfg.mtbf.horizon = Second{0.0};
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+}
+
+}  // namespace
+}  // namespace ntserv::fault
