@@ -52,4 +52,14 @@ inline void print_table(const TextTable& t, const std::string& csv_tag) {
   std::cout << "\n";
 }
 
+/// Row marker for truncated fleet runs: a run that hit its cycle cap has
+/// partial metrics, and every figure driver flags its rows the same way.
+/// (dse's sweeps print a stderr warning; this is the table-side half.)
+inline const char* truncated_mark(bool truncated) {
+  return truncated ? " [TRUNCATED]" : "";
+}
+inline const char* truncated_mark(const dc::FleetResult& result) {
+  return truncated_mark(result.truncated);
+}
+
 }  // namespace ntserv::bench

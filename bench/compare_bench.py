@@ -32,6 +32,26 @@ def load_benchmarks(path):
     return out
 
 
+def run_label(path):
+    """Human label for one archive from the context run_bench.sh embeds.
+
+    google-benchmark copies --benchmark_context=key=value pairs into the
+    JSON "context" object; older archives predate the stamping, so every
+    key is optional.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            ctx = json.load(f).get("context", {})
+    except (OSError, ValueError):
+        ctx = {}
+    parts = [os.path.basename(path)]
+    if ctx.get("git_sha"):
+        parts.append(f"sha {ctx['git_sha']}")
+    if ctx.get("wakeup_list"):
+        parts.append(f"wakeup_list={ctx['wakeup_list']}")
+    return ", ".join(parts)
+
+
 def build_rows(old, new):
     """Rows of (name, old_text, new_text, delta_text)."""
     rows = []
@@ -78,6 +98,8 @@ def main():
     new = load_benchmarks(new_path)
     title = f"{os.path.basename(old_path)} -> {os.path.basename(new_path)}"
     print(f"compare_bench: {title}")
+    print(f"  old: {run_label(old_path)}")
+    print(f"  new: {run_label(new_path)}")
 
     rows = build_rows(old, new)
     name_w = max((len(r[0]) for r in rows), default=4)

@@ -73,7 +73,7 @@ void print_sweep(const dse::GovernorSweep& sweep, const dc::Scenario& scenario) 
       sweep.at(ctrl::GovernorKind::kFixedMax).result.energy.value();
   for (const auto& p : sweep.points) {
     const auto& r = p.result;
-    t.add_row({std::string(to_string(p.governor)) + (r.truncated ? " [TRUNCATED]" : ""),
+    t.add_row({std::string(to_string(p.governor)) + bench::truncated_mark(r),
                TextTable::num(r.energy.value() * 1e3, 2),
                TextTable::num(r.energy.value() / fixed_energy, 3),
                TextTable::num(in_us(r.p50), 1), TextTable::num(in_us(r.p99), 1),

@@ -59,7 +59,7 @@ void print_consolidation(const dse::ConsolidationSweep& sweep,
       for (std::size_t k = 0; k < sw.tenant_names.size(); ++k) {
         if (sw.tenant_names[k] == tn.name) bound_idx = k;
       }
-      t.add_row({fleet + (r.truncated ? " [TRUNCATED]" : ""), std::to_string(chips),
+      t.add_row({fleet + bench::truncated_mark(r), std::to_string(chips),
                  tn.name,
                  TextTable::num(in_us(tn.p99), 1),
                  TextTable::num(in_us(sw.tenant_bounds[bound_idx]), 1),
@@ -82,7 +82,7 @@ void print_policies(const std::string& tag, const std::vector<dc::BalancePolicy>
                "shed", "energy (mJ)", "util"});
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto& r = results[i];
-    t.add_row({std::string(to_string(policies[i])) + (r.truncated ? " [TRUNCATED]" : ""),
+    t.add_row({std::string(to_string(policies[i])) + bench::truncated_mark(r),
                TextTable::num(in_us(r.p99), 1),
                TextTable::num(in_us(r.mean_latency), 1),
                std::to_string(r.qos_violation_epochs), std::to_string(r.transitions),

@@ -43,7 +43,7 @@ using namespace ntserv;
 
 namespace {
 
-const char* mark(bool truncated) { return truncated ? " [TRUNCATED]" : ""; }
+
 
 void print_fault_sweep(const dse::FaultSweep& sweep, const dc::Scenario& scenario) {
   std::cout << "Scenario " << sweep.scenario << " (" << scenario.description << "),\n"
@@ -54,7 +54,7 @@ void print_fault_sweep(const dse::FaultSweep& sweep, const dc::Scenario& scenari
                "recovered", "ttr (us)"});
   auto add = [&](const std::string& label, const dc::FleetResult& r,
                  std::uint64_t lost) {
-    t.add_row({label + mark(r.truncated), TextTable::num(in_us(r.p99), 1),
+    t.add_row({label + bench::truncated_mark(r), TextTable::num(in_us(r.p99), 1),
                std::to_string(r.sla_violations),
                std::to_string(r.degraded_sla_violations), std::to_string(lost),
                std::to_string(r.timed_out), std::to_string(r.hedged),
@@ -100,7 +100,7 @@ void print_guardband(const dc::FleetResult& faulted, const dc::FleetResult& heal
       final_margin = std::max(final_margin, e.margin);
       final_f = std::max(final_f, e.decision.frequency.value() / 1e9);
     }
-    t.add_row({label + mark(r.truncated), TextTable::num(r.energy.value() * 1e3, 3),
+    t.add_row({label + bench::truncated_mark(r), TextTable::num(r.energy.value() * 1e3, 3),
                std::to_string(r.guardband_epochs), TextTable::num(in_us(r.p99), 1),
                std::to_string(r.sla_violations), TextTable::num(final_margin, 3),
                TextTable::num(final_f, 3), r.recovered ? "yes" : "no",
@@ -244,7 +244,7 @@ int main(int argc, char** argv) {
       dc::Scenario arm = s;
       arm.seed = seed;
       const auto r = dc::run_scenario(arm, ghz(2.0));
-      t.add_row({std::to_string(seed) + mark(r.truncated),
+      t.add_row({std::to_string(seed) + bench::truncated_mark(r),
                  std::to_string(r.faults_injected), TextTable::num(in_us(r.p99), 1),
                  std::to_string(r.sla_violations),
                  std::to_string(r.shed + r.timed_out + r.in_flight),

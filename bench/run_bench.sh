@@ -41,10 +41,19 @@ else
   done
 fi
 
+# Stamp the archive with what produced it: the commit and the scheduler
+# wakeup-list mode land in the JSON "context" object, so a diff of two
+# archives can say *which builds* it is comparing (compare_bench.py
+# prints these labels).
+git_sha="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
+wakeup_mode="${NTSERV_WAKEUP_LIST:-1}"
+
 NTSERV_THREADS=1 "${bin}" \
   --benchmark_format=json \
   --benchmark_min_time="${NTSERV_BENCH_MIN_TIME:-0.25}" \
   --benchmark_repetitions="${NTSERV_BENCH_REPS:-1}" \
+  --benchmark_context=git_sha="${git_sha}" \
+  --benchmark_context=wakeup_list="${wakeup_mode}" \
   --benchmark_out="${out}" \
   --benchmark_out_format=json
 

@@ -40,6 +40,10 @@ void GovernorConfig::validate() const {
   NTSERV_EXPECTS(guardband_margin == 0.0 || guardband_relax_step > 0.0,
                  "a nonzero guardband needs a positive relax step to recover");
   if (kind == GovernorKind::kNtcBoost) {
+    // The boost path forward-biases an FD-SOI flip-well; bulk has no
+    // body-bias terminal worth the name (paper Sec. II-A).
+    NTSERV_EXPECTS(tech.process == tech::Process::kFdSoi28,
+                   "kNtcBoost requires an FD-SOI technology flavor");
     NTSERV_EXPECTS(qos_p99_limit.value() > 0.0,
                    "kNtcBoost needs a positive qos_p99_limit (anchor one via "
                    "qos::sim_qos_limit)");
@@ -67,8 +71,8 @@ pm::UipsCurve default_uips_curve() {
 }
 
 pm::PowerManager make_power_manager(const GovernorConfig& config) {
-  const power::ServerPowerModel platform{
-      tech::TechnologyModel{tech::TechnologyParams::fdsoi28()}, power::ChipConfig{}};
+  const power::ServerPowerModel platform{tech::TechnologyModel{config.tech},
+                                         power::ChipConfig{}};
   return pm::PowerManager{platform,
                           config.curve.empty() ? default_uips_curve() : config.curve,
                           config.core_activity};

@@ -34,6 +34,7 @@
 
 #include "common/units.hpp"
 #include "pm/power_manager.hpp"
+#include "tech/technology.hpp"
 
 namespace ntserv::ctrl {
 
@@ -76,10 +77,20 @@ struct EpochRecord {
   /// Span of the epoch the chip spent crashed (fault injection); down
   /// time is charged at zero power and serves nothing.
   Second down_time{0.0};
+  /// Span of the epoch the chip spent parked by the orchestrator's
+  /// autoscaler, charged at the platform's deep-idle sleep floor.
+  Second parked_time{0.0};
+  /// The epoch ran below its governor's decided frequency because the
+  /// fleet power cap's per-chip budget could not afford it.
+  bool capped = false;
 };
 
 struct GovernorConfig {
   GovernorKind kind = GovernorKind::kNone;
+  /// Technology flavor the governed platform is built on (the paper's
+  /// Fig. 1 calibrations). The default reproduces the FD-SOI NTC fleet;
+  /// orch::FleetGroup sets bulk28 for the conventional comparison fleet.
+  tech::TechnologyParams tech = tech::TechnologyParams::fdsoi28();
   /// Epoch length in dispatch quanta *at the fleet's configured base
   /// frequency* (epoch = epoch_quanta * quantum / f_base seconds, a
   /// constant wall-time control interval — a governor that slowed the

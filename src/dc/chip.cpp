@@ -81,6 +81,12 @@ std::vector<Request> ChipServer::crash(double now_s) {
   // off anyway, and an outage must not leave a phantom stall behind.
   stall_begin_s_ = std::min(stall_begin_s_, now_s);
   stall_until_s_ = std::min(stall_until_s_, now_s);
+  // A parked chip's span becomes down time from here: the parked and
+  // down overlaps partition the outage instead of double-charging it.
+  if (parked_accruing_) {
+    parked_seconds_ += now_s - parked_since_s_;
+    parked_accruing_ = false;
+  }
   down_ = true;
   down_since_s_ = now_s;
   return lost;
@@ -90,6 +96,42 @@ void ChipServer::recover(double now_s) {
   NTSERV_EXPECTS(down_, "recover on a healthy chip " + chip_context(chip_id_, now_s));
   down_ = false;
   down_seconds_ += now_s - down_since_s_;
+  // A chip that crashed while parked returns parked (the autoscaler
+  // never unparks a down chip, so it is still meant to be asleep); its
+  // parked integral resumes where the outage interrupted it.
+  if (parked_) {
+    parked_accruing_ = true;
+    parked_since_s_ = now_s;
+  }
+}
+
+void ChipServer::park(double now_s) {
+  NTSERV_EXPECTS(!parked_, "park on an already-parked chip " + chip_context(chip_id_, now_s));
+  NTSERV_EXPECTS(!down_, "park on a crashed chip " + chip_context(chip_id_, now_s));
+  NTSERV_EXPECTS(outstanding() == 0,
+                 "park with work outstanding (drain first) " + chip_context(chip_id_, now_s));
+  parked_ = true;
+  draining_ = false;
+  // Truncate any open transition stall: the domain is powering off, and
+  // a parked chip must not wake into a phantom swing (cf. crash()).
+  stall_begin_s_ = std::min(stall_begin_s_, now_s);
+  stall_until_s_ = std::min(stall_until_s_, now_s);
+  parked_accruing_ = true;
+  parked_since_s_ = now_s;
+}
+
+void ChipServer::unpark(double now_s, Second wake_latency) {
+  NTSERV_EXPECTS(parked_, "unpark on a serving chip " + chip_context(chip_id_, now_s));
+  NTSERV_EXPECTS(!down_, "unpark on a crashed chip " + chip_context(chip_id_, now_s));
+  parked_ = false;
+  if (parked_accruing_) {
+    parked_seconds_ += now_s - parked_since_s_;
+    parked_accruing_ = false;
+  }
+  // Deep-sleep exit: the wake latency is a service stall charged at full
+  // active power through the usual per-epoch overlap accounting — the
+  // wake-energy burn the autoscaler's savings must beat.
+  if (wake_latency.value() > 0.0) begin_stall(now_s, wake_latency);
 }
 
 void ChipServer::degrade(double freq_cap, int core_cap) {
@@ -112,6 +154,7 @@ int ChipServer::usable_cores() const {
 
 void ChipServer::start_services(double now_s) {
   if (down_) return;                 // a crashed chip serves nothing
+  if (parked_) return;               // powered down to the sleep floor
   if (in_transition(now_s)) return;  // the whole voltage domain is mid-swing
   const auto fillable = static_cast<std::size_t>(usable_cores());
   for (std::size_t s = 0; s < std::min(fillable, slots_.size()); ++s) {
@@ -224,6 +267,37 @@ void ChipServer::attach_governor(std::unique_ptr<ctrl::FleetGovernor> governor,
   set_frequency(governor_->initial_frequency());
 }
 
+Hertz ChipServer::cap_frequency(Hertz f) const {
+  if (power_budget_.value() <= 0.0 || governor_ == nullptr) return f;
+  const double budget = power_budget_.value();
+  // Full-duty power at a candidate point, through the governor's own
+  // energy accounting (so a boosted NTC point is judged at the biased
+  // device's power, and a guardband margin is judged at its stretched
+  // supply — the cap sees the Watts the epoch would actually charge).
+  const auto power_at = [&](Hertz x) {
+    return governor_->epoch_energy(*manager_, x, 1.0, Second{1.0}).value();
+  };
+  if (power_at(f) <= budget * (1.0 + 1e-9)) return f;
+  // Walk the DVFS grid downward to the largest affordable point. When
+  // even the bottom of the grid exceeds the budget, run there anyway —
+  // the fleet reports the realized excursion as a cap violation rather
+  // than halting service.
+  const auto& curve = manager_->curve();
+  for (auto it = curve.rbegin(); it != curve.rend(); ++it) {
+    if (it->frequency.value() >= f.value()) continue;
+    if (power_at(it->frequency) <= budget * (1.0 + 1e-9)) return it->frequency;
+  }
+  return curve.front().frequency;
+}
+
+void ChipServer::apply_power_budget() {
+  if (governor_ == nullptr) return;
+  const Hertz target = requested_frequency_;
+  const Hertz capped = cap_frequency(target);
+  cap_active_ = capped.value() < target.value() * (1.0 - 1e-12);
+  if (capped != target) set_frequency(capped);
+}
+
 ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
                                                  std::uint64_t epoch_index,
                                                  bool final_partial) {
@@ -245,6 +319,14 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   const double down_overlap = std::max(0.0, down_total - epoch_down_anchor_);
   epoch_down_anchor_ = down_total;
 
+  // The epoch's parked span, by the same anchor bookkeeping. Parked and
+  // down spans are disjoint by construction (the parked integral pauses
+  // across an outage), so serving + stall + down + parked tiles the
+  // epoch.
+  const double parked_total = parked_seconds(now_s);
+  const double parked_overlap = std::max(0.0, parked_total - epoch_parked_anchor_);
+  epoch_parked_anchor_ = parked_total;
+
   ctrl::EpochRecord rec;
   rec.chip = chip_id_;
   rec.epoch = epoch_index;
@@ -258,6 +340,8 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   rec.boosted = governor_->boosted();
   rec.margin = governor_->margin();
   rec.down_time = Second{down_overlap};
+  rec.parked_time = Second{parked_overlap};
+  rec.capped = cap_active_;  // the budget that held *during* this epoch
 
   double p99 = 0.0;
   if (!epoch_latencies_.empty()) {
@@ -276,13 +360,18 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   // through its epochs, not at the decision, keeps every wall second
   // charged exactly once.
   const bool sleeps = governor_->sleeps_when_idle();
-  const double serving = std::max(0.0, duration - stall_overlap - down_overlap);
+  const double serving =
+      std::max(0.0, duration - stall_overlap - down_overlap - parked_overlap);
   const double duty = sleeps && serving > 0.0
                           ? std::min(1.0, epoch_active_seconds_ / serving)
                           : (serving > 0.0 ? 1.0 : 0.0);
   out.energy_j =
       governor_->epoch_energy(*manager_, frequency_, duty, Second{serving}).value() +
-      governor_->epoch_energy(*manager_, frequency_, 1.0, Second{stall_overlap}).value();
+      governor_->epoch_energy(*manager_, frequency_, 1.0, Second{stall_overlap}).value() +
+      // A parked span sits at the platform's deep-idle floor regardless
+      // of the governor's duty semantics — that floor (vs a fixed-max
+      // chip's full active power) is the autoscaler's entire saving.
+      manager_->sleep_power().value() * parked_overlap;
 
   rec.decision.frequency = frequency_;
   rec.decision.duty = duty;
@@ -302,16 +391,22 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   governor_->relax_guardband();
 
   // A chip mid-swing at the boundary holds: the governor cannot retune a
-  // voltage domain that has not settled yet. A crashed chip's governor
-  // holds too — there is no domain to retune.
-  if (!final_partial && !in_transition(now_s) && !down_) {
+  // voltage domain that has not settled yet. A crashed or parked chip's
+  // governor holds too — there is no live domain to retune.
+  if (!final_partial && !in_transition(now_s) && !down_ && !parked_) {
     ctrl::EpochObservation obs;
     obs.epoch = epoch_index;
     obs.frequency = frequency_;
     obs.utilization = rec.utilization;
     obs.completions = epoch_latencies_.size();
     obs.p99 = Second{p99};
-    const Hertz f_next = governor_->decide(obs);
+    const Hertz f_decided = governor_->decide(obs);
+    // The fleet power cap clamps the decided point to this chip's
+    // budget. Clamping *before* the requested-frequency comparison means
+    // a standing clamp re-issues the same applied target every epoch and
+    // never re-pays the transition stall.
+    const Hertz f_next = cap_frequency(f_decided);
+    cap_active_ = f_next.value() < f_decided.value() * (1.0 - 1e-12);
     // Compare against the *requested* frequency: a degradation cap can
     // pin the applied clock below a standing request, and re-issuing the
     // same request must not re-pay the transition every epoch.

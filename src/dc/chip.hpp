@@ -126,6 +126,38 @@ class ChipServer {
     return down_seconds_ + (down_ ? now_s - down_since_s_ : 0.0);
   }
 
+  // ---- Orchestration state (orch::Autoscaler / PowerCapper, fleet-delivered) ----
+  [[nodiscard]] bool parked() const { return parked_; }
+  [[nodiscard]] bool draining() const { return draining_; }
+  [[nodiscard]] int group() const { return group_; }
+  void set_group(int group) { group_ = group; }
+  /// Power the chip down to the platform's deep-idle floor. Requires an
+  /// idle, healthy chip (the autoscaler drains first); any open
+  /// transition stall is truncated — the domain is powering off.
+  void park(double now_s);
+  /// Wake a parked chip: it pays `wake_latency` as a service stall
+  /// (charged at full active power through the usual epoch overlap
+  /// accounting) before serving again.
+  void unpark(double now_s, Second wake_latency);
+  /// Exclude the chip from dispatch while it finishes its outstanding
+  /// work; the autoscaler parks it at a later barrier once drained.
+  void begin_drain() { draining_ = true; }
+  void cancel_drain() { draining_ = false; }
+  /// Total parked wall time, including an open parked span up to
+  /// `now_s`. Down time inside a parked span accrues as down time, not
+  /// parked time, so the two overlaps never double-charge an epoch.
+  [[nodiscard]] double parked_seconds(double now_s) const {
+    return parked_seconds_ + (parked_accruing_ ? now_s - parked_since_s_ : 0.0);
+  }
+  /// Per-epoch Watt budget from the fleet power cap (<= 0 = uncapped):
+  /// the governor's decided frequency is clamped to the largest curve
+  /// point whose full-duty power fits the budget.
+  void set_power_budget(Watt budget) { power_budget_ = budget; }
+  /// Clamp the *current* operating point to the standing budget without
+  /// paying a transition stall — the pre-run application of an initial
+  /// cap split, before anything is being served.
+  void apply_power_budget();
+
   // ---- Per-chip DVFS (one shared voltage domain) ----
   /// Retune every cluster's clock; takes effect on the next advance().
   /// A degradation frequency cap clamps the applied clock; the requested
@@ -206,6 +238,7 @@ class ChipServer {
   }
   [[nodiscard]] double freq_seconds() const { return freq_seconds_; }
   [[nodiscard]] double governed_seconds() const { return governed_seconds_; }
+  [[nodiscard]] double last_epoch_utilization() const { return last_epoch_utilization_; }
 
  private:
   struct CoreSlot {
@@ -244,6 +277,23 @@ class ChipServer {
   double epoch_down_anchor_ = 0.0; ///< down_seconds(now) at the last epoch close
   double freq_cap_ = 1.0;          ///< degradation clock cap (fraction of nominal)
   int core_cap_ = 0;               ///< degradation core cap (0 = uncapped)
+
+  // Orchestration state (same each-second-charged-once bookkeeping as
+  // the fault state above: closed spans + an open-span anchor).
+  bool parked_ = false;
+  bool draining_ = false;
+  bool parked_accruing_ = false;     ///< parked and not down (integral runs)
+  double parked_since_s_ = 0.0;
+  double parked_seconds_ = 0.0;      ///< closed parked spans only
+  double epoch_parked_anchor_ = 0.0; ///< parked_seconds(now) at the last close
+  int group_ = 0;                    ///< router group (0 when routing is off)
+  Watt power_budget_{0.0};           ///< per-epoch cap budget (<= 0 = uncapped)
+  bool cap_active_ = false;          ///< running below the governor's request
+
+  /// Largest frequency at or below `f` (on the curve grid below it)
+  /// whose full-duty epoch power fits the standing budget; `f` itself
+  /// when uncapped or already affordable.
+  [[nodiscard]] Hertz cap_frequency(Hertz f) const;
 
   // Lifetime accounting.
   double active_seconds_ = 0.0;

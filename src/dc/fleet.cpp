@@ -93,15 +93,46 @@ void FleetConfig::validate() const {
   for (const auto& e : faults.events) {
     NTSERV_EXPECTS(e.chip < servers, "scripted fault event targets a chip outside the fleet");
   }
+  orchestration.validate();
+  if (orchestration.any()) {
+    NTSERV_EXPECTS(governor.kind != ctrl::GovernorKind::kNone,
+                   "orchestration requires a governed fleet (it acts at the epoch barrier)");
+  }
+  if (orchestration.router.enabled) {
+    int group_servers = 0;
+    for (const auto& g : orchestration.router.groups) {
+      group_servers += g.servers;
+      NTSERV_EXPECTS(g.governor.epoch_quanta == governor.epoch_quanta,
+                     "router groups must share the fleet's epoch grid");
+    }
+    NTSERV_EXPECTS(group_servers == servers,
+                   "router group servers must sum to the fleet size");
+  }
+  if (orchestration.autoscaler.enabled) {
+    NTSERV_EXPECTS(orchestration.autoscaler.min_active <= servers,
+                   "autoscaler min_active exceeds the fleet size");
+  }
 }
 
 ClusterFleet::ClusterFleet(FleetConfig config)
     : config_(std::move(config)), admission_(config_.admission) {
   config_.validate();
   governed_ = config_.governor.kind != ctrl::GovernorKind::kNone;
+  const bool routed = config_.orchestration.router.enabled;
   if (governed_) {
     if (config_.governor.curve.empty()) config_.governor.curve = ctrl::default_uips_curve();
-    manager_ = std::make_unique<pm::PowerManager>(ctrl::make_power_manager(config_.governor));
+    if (routed) {
+      // One platform (manager) per router group: each group has its own
+      // tech point, curve and governor shape.
+      for (auto& g : config_.orchestration.router.groups) {
+        if (g.governor.curve.empty()) g.governor.curve = config_.governor.curve;
+        managers_.push_back(
+            std::make_unique<pm::PowerManager>(ctrl::make_power_manager(g.governor)));
+      }
+    } else {
+      managers_.push_back(
+          std::make_unique<pm::PowerManager>(ctrl::make_power_manager(config_.governor)));
+    }
   }
   const auto specs = config_.resolved_tenants();
   tenants_.reserve(specs.size());
@@ -116,6 +147,17 @@ ClusterFleet::ClusterFleet(FleetConfig config)
         specs[t].resolved_budget(), derive_seed(config_.seed, 0xB0D6ull + t));
     state.total = specs[t].requests + specs[t].warmup_requests;
     tenants_.push_back(std::move(state));
+  }
+  // Chip -> router group (all group 0 without routing; with it, groups
+  // occupy contiguous index ranges in config order).
+  std::vector<int> chip_group(static_cast<std::size_t>(config_.servers), 0);
+  if (routed) {
+    int next = 0;
+    for (std::size_t g = 0; g < config_.orchestration.router.groups.size(); ++g) {
+      for (int k = 0; k < config_.orchestration.router.groups[g].servers; ++k) {
+        chip_group[static_cast<std::size_t>(next++)] = static_cast<int>(g);
+      }
+    }
   }
   chips_.reserve(static_cast<std::size_t>(config_.servers));
   for (int s = 0; s < config_.servers; ++s) {
@@ -134,8 +176,32 @@ ClusterFleet::ClusterFleet(FleetConfig config)
     if (governed_) {
       // One governor instance per chip: identical initial state, but each
       // evolves on its own chip's observations (per-chip DVFS).
-      chips_.back()->attach_governor(ctrl::make_governor(config_.governor, *manager_),
-                                     manager_.get(), config_.governor.qos_p99_limit);
+      const auto g = static_cast<std::size_t>(chip_group[static_cast<std::size_t>(s)]);
+      const ctrl::GovernorConfig& gc =
+          routed ? config_.orchestration.router.groups[g].governor : config_.governor;
+      chips_.back()->set_group(static_cast<int>(g));
+      chips_.back()->attach_governor(ctrl::make_governor(gc, *managers_[g]),
+                                     managers_[g].get(), gc.qos_p99_limit);
+    }
+  }
+  const orch::OrchestratorConfig& oc = config_.orchestration;
+  if (oc.autoscaler.enabled) autoscaler_.emplace(oc.autoscaler);
+  if (oc.router.enabled) router_.emplace(oc.router);
+  if (oc.cap.enabled) {
+    capper_.emplace(oc.cap);
+    // Clamp the initial operating point too, so epoch 0 already respects
+    // the cap: an equal split (no queue signal yet), applied without a
+    // transition stall — the fleet starts at the capped point rather
+    // than dropping to it.
+    std::vector<orch::ChipStatus> status(chips_.size());
+    for (std::size_t s = 0; s < chips_.size(); ++s) {
+      status[s].chip = static_cast<int>(s);
+      status[s].group = chips_[s]->group();
+    }
+    const std::vector<Watt> budgets = capper_->split(status, Watt{0.0});
+    for (std::size_t s = 0; s < chips_.size(); ++s) {
+      chips_[s]->set_power_budget(budgets[s]);
+      chips_[s]->apply_power_budget();
     }
   }
 }
@@ -145,13 +211,23 @@ int ClusterFleet::outstanding(int s) const {
 }
 
 int ClusterFleet::least_loaded(bool healthy_only, int exclude) const {
-  int best = -1;
+  // Parked chips never take work; draining chips only as a last resort,
+  // so work is never stranded when every powered chip happens to drain.
+  int best = -1, best_draining = -1;
   for (int s = 0; s < servers(); ++s) {
     if (s == exclude) continue;
-    if (healthy_only && chips_[static_cast<std::size_t>(s)]->down()) continue;
+    const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
+    if (chip.parked()) continue;
+    if (healthy_only && chip.down()) continue;
+    if (chip.draining()) {
+      if (best_draining < 0 || outstanding(s) < outstanding(best_draining)) {
+        best_draining = s;
+      }
+      continue;
+    }
     if (best < 0 || outstanding(s) < outstanding(best)) best = s;
   }
-  return best;
+  return best >= 0 ? best : best_draining;
 }
 
 int ClusterFleet::pick_server(const Request& req, double now_s) {
@@ -160,17 +236,46 @@ int ClusterFleet::pick_server(const Request& req, double now_s) {
   // Without it the dispatcher is deliberately health-blind — the
   // baseline every failover comparison is made against.
   const bool avoid_down = config_.resilience.failover;
-  const auto up = [&](int s) {
-    return !avoid_down || !chips_[static_cast<std::size_t>(s)]->down();
+  const auto serving = [&](int s) {
+    const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
+    if (chip.parked() || chip.draining()) return false;
+    return !avoid_down || !chip.down();
   };
+  if (router_) {
+    // Tech routing supersedes the balance policy: the router's standing
+    // preference (updated at the barrier) picks the group, least-loaded
+    // picks within it; a group with no serving chip falls back fleet-wide
+    // and the miss is recorded.
+    const bool critical =
+        tenants_[static_cast<std::size_t>(req.tenant)].spec.latency_critical;
+    const int pg = router_->preferred_group(critical);
+    int best = -1;
+    for (int s = 0; s < servers(); ++s) {
+      if (!serving(s)) continue;
+      if (chips_[static_cast<std::size_t>(s)]->group() != pg) continue;
+      if (best < 0 || outstanding(s) < outstanding(best)) best = s;
+    }
+    if (best >= 0) {
+      router_->note_dispatch(pg, /*fallback=*/false);
+      return best;
+    }
+    const int fb = least_loaded(avoid_down);
+    if (fb >= 0) {
+      router_->note_dispatch(chips_[static_cast<std::size_t>(fb)]->group(),
+                             /*fallback=*/true);
+    }
+    return fb;
+  }
   switch (config_.policy) {
     case BalancePolicy::kRoundRobin: {
       for (int tried = 0; tried < servers(); ++tried) {
         const int s = round_robin_next_;
         round_robin_next_ = (round_robin_next_ + 1) % servers();
-        if (up(s)) return s;
+        if (serving(s)) return s;
       }
-      return -1;
+      // Every chip parked/draining/down: the least-loaded fallback still
+      // finds a draining chip, so work is never stranded.
+      return least_loaded(avoid_down);
     }
     case BalancePolicy::kLeastLoaded:
       return least_loaded(avoid_down);
@@ -180,7 +285,7 @@ int ClusterFleet::pick_server(const Request& req, double now_s) {
       const double cap = config_.pack_depth_per_core *
                          static_cast<double>(cores_per_server());
       for (int s = 0; s < servers(); ++s) {
-        if (up(s) && static_cast<double>(outstanding(s)) < cap) return s;
+        if (serving(s) && static_cast<double>(outstanding(s)) < cap) return s;
       }
       return least_loaded(avoid_down);
     }
@@ -197,7 +302,7 @@ int ClusterFleet::pick_server(const Request& req, double now_s) {
       int best = -1;
       for (int s = 0; s < servers(); ++s) {
         const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
-        if (!up(s)) continue;
+        if (!serving(s)) continue;
         if (chip.in_transition(now_s) ||
             chip.pending_descent(now_s, epoch_start_s_, peek_window_s_)) {
           continue;
@@ -328,15 +433,65 @@ FleetResult ClusterFleet::run() {
   int transitions = 0, transition_epochs = 0, violations = 0;
   std::vector<ctrl::EpochRecord> epoch_records;
 
+  // ---- Orchestration state (all idle when orchestration is off) ----
+  std::uint64_t parks = 0, unparks = 0, drains = 0;
+  double wake_energy_j = 0.0;
+  int cap_clamp_epochs = 0, cap_violation_epochs = 0;
+  double peak_epoch_power = 0.0;
+  std::vector<double> group_energy_j;
+  std::vector<std::uint64_t> group_dispatches;
+  if (router_) {
+    group_energy_j.assign(config_.orchestration.router.groups.size(), 0.0);
+    group_dispatches.assign(config_.orchestration.router.groups.size(), 0);
+  }
+
+  // Snapshot the fleet for the orchestration controllers (live queue
+  // depths, last closed epoch's utilization).
+  auto chip_status = [&] {
+    std::vector<orch::ChipStatus> status(chips_.size());
+    for (std::size_t s = 0; s < chips_.size(); ++s) {
+      const ChipServer& chip = *chips_[s];
+      status[s].chip = static_cast<int>(s);
+      status[s].group = chip.group();
+      status[s].down = chip.down();
+      status[s].parked = chip.parked();
+      status[s].draining = chip.draining();
+      status[s].outstanding = chip.outstanding();
+      status[s].utilization = chip.last_epoch_utilization();
+    }
+    return status;
+  };
+
   // Close the epoch on every chip: record, charge energy, and (unless
   // final) take each chip's next decision, beginning its transition
-  // stall on a change.
+  // stall on a change. Orchestration lives at this barrier too: cap
+  // budgets are refreshed *before* the chips close (so each governor's
+  // decide() is clamped by the budget its queue earned), routing and
+  // scaling react *after* (to the freshly measured epoch).
   auto close_epochs = [&](bool final_partial) {
     const double duration = now_s - epoch_start_s_;
+    if (capper_) {
+      const auto status = chip_status();
+      Watt reserved{0.0};
+      for (const auto& st : status) {
+        if (st.parked && !st.down) {
+          reserved += managers_[static_cast<std::size_t>(st.group)]->sleep_power();
+        }
+      }
+      const std::vector<Watt> budgets = capper_->split(status, reserved);
+      for (std::size_t s = 0; s < chips_.size(); ++s) {
+        chips_[s]->set_power_budget(budgets[s]);
+      }
+    }
+    double epoch_energy_j = 0.0;
     for (auto& chip : chips_) {
       auto outcome = chip->close_epoch(now_s, duration, epoch_index, final_partial);
       if (!outcome.emitted) continue;
       energy_j += outcome.energy_j;
+      epoch_energy_j += outcome.energy_j;
+      if (!group_energy_j.empty()) {
+        group_energy_j[static_cast<std::size_t>(chip->group())] += outcome.energy_j;
+      }
       if (outcome.transition_s > 0.0) ++transitions;
       // Recorded per-epoch overlaps sum to the realized stall time, so
       // the records and the total stay consistent by construction.
@@ -344,7 +499,49 @@ FleetResult ClusterFleet::run() {
       if (outcome.record.transition) ++transition_epochs;
       if (outcome.record.violation) ++violations;
       if (outcome.record.margin > 0.0) ++guardband_epochs;
+      if (outcome.record.capped) ++cap_clamp_epochs;
       epoch_records.push_back(outcome.record);
+    }
+    if (duration > 0.0) {
+      const double realized_power = epoch_energy_j / duration;
+      peak_epoch_power = std::max(peak_epoch_power, realized_power);
+      if (capper_ &&
+          realized_power > capper_->config().fleet_cap.value() * (1.0 + 1e-9)) {
+        ++cap_violation_epochs;
+      }
+    }
+    if (!final_partial && router_) router_->observe_epoch(epoch_index, chip_status());
+    if (!final_partial && autoscaler_) {
+      for (const orch::ScaleDecision& d : autoscaler_->decide(chip_status())) {
+        ChipServer& chip = *chips_[static_cast<std::size_t>(d.chip)];
+        switch (d.action) {
+          case orch::ScaleAction::kUnpark: {
+            const Second wake = autoscaler_->config().wake_latency;
+            // Reporting slice only: the wake stall is charged through the
+            // overlapped epochs like any transition.
+            wake_energy_j += managers_[static_cast<std::size_t>(chip.group())]
+                                 ->wake_energy(chip.frequency(), wake)
+                                 .value();
+            chip.unpark(now_s, wake);
+            ++unparks;
+            break;
+          }
+          case orch::ScaleAction::kCancelDrain:
+            chip.cancel_drain();
+            break;
+          case orch::ScaleAction::kDrain:
+            chip.begin_drain();
+            ++drains;
+            break;
+          case orch::ScaleAction::kPark:
+            // Re-check live state: the decision was made on a snapshot.
+            if (!chip.down() && !chip.parked() && chip.outstanding() == 0) {
+              chip.park(now_s);
+              ++parks;
+            }
+            break;
+        }
+      }
     }
     ++epoch_index;
     epoch_start_s_ = now_s;
@@ -434,6 +631,18 @@ FleetResult ClusterFleet::run() {
     return res.hedge_min_delay.value();
   };
 
+  // Every admission into a chip queue flows through here so the
+  // per-group dispatch ledger (routed fleets) stays consistent with the
+  // fleet-wide admitted count by construction.
+  auto note_admit = [&](int server) {
+    ++admitted;
+    if (!group_dispatches.empty()) {
+      const auto g =
+          static_cast<std::size_t>(chips_[static_cast<std::size_t>(server)]->group());
+      ++group_dispatches[g];
+    }
+  };
+
   // One dispatch attempt at event time `event_s` (arrival, back-off
   // expiry, or timeout retry): admit a fresh copy into the picked chip's
   // queue, or back the client off, or shed once the retry budget is
@@ -456,7 +665,7 @@ FleetResult ClusterFleet::run() {
       req.hedge = false;
       auto& chip = *chips_[static_cast<std::size_t>(server)];
       chip.queue().push_back(req);
-      ++admitted;
+      note_admit(server);
       pr.live.push_back({req.copy, server});
       pr.proto.attempts = req.attempts;
       if (chip.down() || chip.degraded()) mark_damaged(pr);
@@ -497,7 +706,7 @@ FleetResult ClusterFleet::run() {
     req.copy = ++copy_seq;
     req.hedge = true;
     chip.queue().push_back(req);
-    ++admitted;
+    note_admit(server);
     pr.live.push_back({req.copy, server});
     pr.hedged = true;
     ++hedged_count;
@@ -818,6 +1027,27 @@ FleetResult ClusterFleet::run() {
   r.transition_epochs = transition_epochs;
   r.qos_violation_epochs = violations;
   r.epochs = std::move(epoch_records);
+
+  r.autoscale_parks = parks;
+  r.autoscale_unparks = unparks;
+  r.autoscale_drains = drains;
+  double parked_s = 0.0;
+  for (const auto& chip : chips_) parked_s += chip->parked_seconds(now_s);
+  r.parked_seconds = Second{parked_s};
+  r.wake_energy = Joule{wake_energy_j};
+  r.cap_clamp_epochs = cap_clamp_epochs;
+  r.cap_violation_epochs = cap_violation_epochs;
+  if (capper_) r.fleet_cap = capper_->config().fleet_cap;
+  r.peak_epoch_power = Watt{peak_epoch_power};
+  if (router_) {
+    r.router_epochs = router_->epochs();
+    for (const auto& g : config_.orchestration.router.groups) {
+      r.group_names.push_back(g.name);
+    }
+    r.group_dispatches = group_dispatches;
+    r.group_energy.reserve(group_energy_j.size());
+    for (double e : group_energy_j) r.group_energy.push_back(Joule{e});
+  }
 
   r.tenants.reserve(tenants_.size());
   for (std::size_t t = 0; t < tenants_.size(); ++t) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -52,6 +53,7 @@
 #include "dc/chip.hpp"
 #include "dc/latency_stats.hpp"
 #include "fault/fault.hpp"
+#include "orch/orch.hpp"
 #include "pm/power_manager.hpp"
 #include "workload/profile.hpp"
 
@@ -216,6 +218,13 @@ struct FleetConfig {
   fault::FaultConfig faults;
   /// Request-level resilience: failover, timeouts, hedging.
   ResilienceConfig resilience;
+  /// Fleet orchestration above the per-chip governors: autoscaling,
+  /// fleet-level power capping, multi-fleet tech routing (src/orch).
+  /// Anything enabled here requires a governed fleet (the controllers
+  /// act at the epoch barrier). With routing enabled, the chips are
+  /// built from orchestration.router.groups (their servers must sum to
+  /// `servers`) with per-group tech points and governors.
+  orch::OrchestratorConfig orchestration;
 
   void validate() const;
 
@@ -290,6 +299,24 @@ struct FleetResult {
   /// Per-chip epoch trajectory, boundary-major then chip-minor (record
   /// `.chip` identifies the chip; each chip's durations tile the span).
   std::vector<ctrl::EpochRecord> epochs;
+
+  // ---- Orchestration outcome (zero/empty when orchestration is off) ----
+  std::uint64_t autoscale_parks = 0;    ///< chips powered down to the sleep floor
+  std::uint64_t autoscale_unparks = 0;  ///< parked chips woken (paid wake latency)
+  std::uint64_t autoscale_drains = 0;   ///< drain orders issued (incl. cancelled)
+  Second parked_seconds{0.0};           ///< chip-seconds at the sleep floor
+  /// Energy of the wake stalls (a reporting slice of `energy`, charged
+  /// through the overlapped epochs like any transition).
+  Joule wake_energy{0.0};
+  int cap_clamp_epochs = 0;      ///< chip-epochs run below the governor's request
+  int cap_violation_epochs = 0;  ///< epochs whose realized fleet power exceeded the cap
+  Watt fleet_cap{0.0};           ///< the enforced cap (0 = uncapped)
+  Watt peak_epoch_power{0.0};    ///< max realized fleet power over the epoch grid
+  /// Per-epoch routing trajectory (empty unless routing is enabled).
+  std::vector<orch::RouterEpoch> router_epochs;
+  std::vector<std::string> group_names;          ///< per router group
+  std::vector<std::uint64_t> group_dispatches;   ///< admitted copies per group
+  std::vector<Joule> group_energy;               ///< epoch energy per group
 };
 
 /// N ChipServer instances behind one dispatcher.
@@ -361,9 +388,15 @@ class ClusterFleet {
   std::vector<TenantState> tenants_;
   ctrl::AdmissionController admission_;
   /// Present only when governed (kind != kNone); every chip's governor
-  /// holds a reference into the manager, so declaration order matters.
-  std::unique_ptr<pm::PowerManager> manager_;
+  /// holds a reference into its group's manager, so declaration order
+  /// matters. One entry per router group (one total without routing).
+  std::vector<std::unique_ptr<pm::PowerManager>> managers_;
   std::vector<std::unique_ptr<ChipServer>> chips_;
+  // Orchestration controllers (engaged only when the matching config is
+  // enabled); all act at the epoch barrier inside run().
+  std::optional<orch::Autoscaler> autoscaler_;
+  std::optional<orch::PowerCapper> capper_;
+  std::optional<orch::MultiFleetRouter> router_;
   std::priority_queue<RetryEntry, std::vector<RetryEntry>, std::greater<>> retries_;
   int round_robin_next_ = 0;
   bool governed_ = false;

@@ -44,6 +44,12 @@ struct Scenario {
   /// to the healthy, patient fleet).
   fault::FaultConfig faults;
   ResilienceConfig resilience;
+  /// Fleet orchestration (src/orch): autoscaling, fleet power cap,
+  /// multi-fleet tech routing. Defaults to all-off.
+  orch::OrchestratorConfig orchestration;
+  /// Safety stop (FleetConfig::max_cycles), in cycles of the base
+  /// frequency; tests trim it to force a truncated run.
+  Cycle max_cycles = 400'000'000;
   std::uint64_t requests = 400;
   std::uint64_t warmup_requests = 40;
   /// Per-cluster architectural warm budget (FleetConfig::warm_instructions);

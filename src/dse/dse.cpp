@@ -342,6 +342,83 @@ ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
   return sweep;
 }
 
+bool ProvisioningSweep::meets(const dc::FleetResult& result) const {
+  if (result.truncated) return false;
+  if (result.shed > 0 || result.timed_out > 0 || result.in_flight > 0) return false;
+  if (result.completed == 0) return false;
+  const double bound = p99_bound.value();
+  return bound <= 0.0 || result.p99.value() <= bound;
+}
+
+int ProvisioningSweep::min_chips(std::size_t a) const {
+  int best = -1;
+  for (const auto& p : points) {
+    if (meets(p.results.at(a)) && (best < 0 || p.chips < best)) best = p.chips;
+  }
+  return best;
+}
+
+const dc::FleetResult& ProvisioningSweep::at(int chips, std::size_t a) const {
+  for (const auto& p : points) {
+    if (p.chips == chips) return p.results.at(a);
+  }
+  throw ModelError("provisioning sweep did not run " + std::to_string(chips) + " chips");
+}
+
+ProvisioningSweep sweep_provisioning(const dc::Scenario& scenario,
+                                     const std::vector<int>& chip_counts,
+                                     const std::vector<ProvisioningArm>& arms,
+                                     Second p99_bound, Hertz f) {
+  return sweep_provisioning(scenario, chip_counts, arms, p99_bound, f,
+                            sim::ThreadPool::default_threads());
+}
+
+ProvisioningSweep sweep_provisioning(const dc::Scenario& scenario,
+                                     const std::vector<int>& chip_counts,
+                                     const std::vector<ProvisioningArm>& arms,
+                                     Second p99_bound, Hertz f, int threads) {
+  NTSERV_EXPECTS(!chip_counts.empty(), "provisioning sweep needs chip counts");
+  NTSERV_EXPECTS(!arms.empty(), "provisioning sweep needs at least one arm");
+  for (const auto& arm : arms) {
+    NTSERV_EXPECTS(!arm.orchestration.router.enabled,
+                   "provisioning arms cannot route: routing fixes the fleet shape");
+  }
+  ProvisioningSweep sweep;
+  sweep.scenario = scenario.name;
+  sweep.p99_bound = p99_bound;
+  for (const auto& arm : arms) sweep.arm_labels.push_back(arm.label);
+
+  sweep.points.resize(chip_counts.size());
+  for (std::size_t i = 0; i < chip_counts.size(); ++i) {
+    NTSERV_EXPECTS(chip_counts[i] > 0, "chip counts must be positive");
+    sweep.points[i].chips = chip_counts[i];
+    sweep.points[i].results.resize(arms.size());
+  }
+
+  // Flatten every (chip count, arm) run into one task index space; each
+  // task is an independent seed-derived fleet.
+  sim::parallel_for_index(threads, chip_counts.size() * arms.size(), [&](std::size_t task) {
+    const std::size_t i = task / arms.size();
+    const std::size_t a = task % arms.size();
+    dc::Scenario s = scenario;
+    s.servers = chip_counts[i];
+    s.orchestration = arms[a].orchestration;
+    if (s.orchestration.autoscaler.enabled) {
+      s.orchestration.autoscaler.min_active =
+          std::min(s.orchestration.autoscaler.min_active, chip_counts[i]);
+    }
+    sweep.points[i].results[a] = dc::run_scenario(s, f);
+  });
+  for (const auto& p : sweep.points) {
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      warn_truncated("provisioning", sweep.scenario,
+                     "arm '" + arms[a].label + "' @" + std::to_string(p.chips) + " chips",
+                     p.results[a]);
+    }
+  }
+  return sweep;
+}
+
 std::vector<ResilienceArm> default_resilience_arms(const dc::Scenario& scenario) {
   dc::ResilienceConfig failover_only;
   failover_only.failover = true;

@@ -274,4 +274,58 @@ struct ConsolidationSweep {
                                                      const std::vector<int>& chip_counts,
                                                      Hertz f);
 
+// ---- Provisioning sweeps (src/orch fleet orchestration) ----
+
+/// One orchestration posture to run a scenario under. The scenario's
+/// shape and traffic are kept; only FleetConfig::orchestration is
+/// overridden per arm, so a sweep contrasts e.g. a fixed-size fleet
+/// against the same fleet with the autoscaler on, or an uncapped fleet
+/// against a capped one, on the *same* arrival stream. Router arms are
+/// rejected: routing fixes the fleet shape, which a chip-count sweep
+/// varies.
+struct ProvisioningArm {
+  std::string label;
+  orch::OrchestratorConfig orchestration;
+};
+
+/// One chip-count point: the scenario under every arm at that fleet size.
+struct ProvisioningPoint {
+  int chips = 0;
+  std::vector<dc::FleetResult> results;  ///< one per arm, in arm order
+};
+
+/// A chip-count x orchestration-arm sweep: the provisioning questions the
+/// orchestration layer answers — how many chips a p99 bound needs, what
+/// autoscaling saves at equal QoS, what a power cap costs in tail.
+struct ProvisioningSweep {
+  std::string scenario;
+  std::vector<std::string> arm_labels;
+  Second p99_bound{0.0};  ///< fleet-wide measured p99 bound (0 = unbounded)
+  std::vector<ProvisioningPoint> points;  ///< in the order of the requested counts
+
+  /// A run meets the bound when it is untruncated, loses nothing (no
+  /// shed, timeouts or stranded in-flight work), completes measured
+  /// requests, and its measured p99 is within p99_bound.
+  [[nodiscard]] bool meets(const dc::FleetResult& result) const;
+  /// Smallest swept chip count meeting the bound under arm `a`; -1 when
+  /// none does.
+  [[nodiscard]] int min_chips(std::size_t a) const;
+  /// Result for a swept chip count under arm `a`; throws if not swept.
+  [[nodiscard]] const dc::FleetResult& at(int chips, std::size_t a) const;
+};
+
+/// Sweep a scenario over fleet sizes under each orchestration arm,
+/// fanning every (chip count, arm) run out over `threads` workers
+/// (default NTSERV_THREADS). Each run is an independent seed-derived
+/// fleet, so results are bit-identical for any thread count. An
+/// autoscaler arm's min_active is clamped to the swept chip count.
+[[nodiscard]] ProvisioningSweep sweep_provisioning(const dc::Scenario& scenario,
+                                                   const std::vector<int>& chip_counts,
+                                                   const std::vector<ProvisioningArm>& arms,
+                                                   Second p99_bound, Hertz f, int threads);
+[[nodiscard]] ProvisioningSweep sweep_provisioning(const dc::Scenario& scenario,
+                                                   const std::vector<int>& chip_counts,
+                                                   const std::vector<ProvisioningArm>& arms,
+                                                   Second p99_bound, Hertz f);
+
 }  // namespace ntserv::dse

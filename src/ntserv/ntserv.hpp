@@ -44,6 +44,8 @@
 #include "ctrl/budget.hpp"
 #include "ctrl/governor.hpp"
 
+#include "orch/orch.hpp"
+
 #include "dc/arrival.hpp"
 #include "dc/chip.hpp"
 #include "dc/fleet.hpp"

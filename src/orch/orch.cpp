@@ -1,0 +1,219 @@
+#include "orch/orch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ntserv::orch {
+
+const char* to_string(ScaleAction a) {
+  switch (a) {
+    case ScaleAction::kUnpark: return "unpark";
+    case ScaleAction::kCancelDrain: return "cancel-drain";
+    case ScaleAction::kDrain: return "drain";
+    case ScaleAction::kPark: return "park";
+  }
+  return "unknown";
+}
+
+void AutoscalerConfig::validate() const {
+  NTSERV_EXPECTS(min_active >= 1, "autoscaler must keep at least one chip serving");
+  NTSERV_EXPECTS(scale_up_utilization > 0.0 && scale_up_utilization <= 1.0,
+                 "scale-up utilization must be in (0,1]");
+  NTSERV_EXPECTS(scale_down_utilization > 0.0 &&
+                     scale_down_utilization < scale_up_utilization,
+                 "scale-down utilization must be in (0, scale_up_utilization)");
+  NTSERV_EXPECTS(hysteresis_epochs >= 1, "hysteresis needs at least one epoch");
+  NTSERV_EXPECTS(wake_latency.value() >= 0.0, "wake latency must be non-negative");
+}
+
+Autoscaler::Autoscaler(AutoscalerConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::vector<ScaleDecision> Autoscaler::decide(const std::vector<ChipStatus>& chips) {
+  std::vector<ScaleDecision> out;
+
+  int serving = 0;
+  double util_sum = 0.0;
+  for (const ChipStatus& c : chips) {
+    if (c.down || c.parked || c.draining) continue;
+    ++serving;
+    util_sum += c.utilization;
+  }
+  // A fleet with nothing serving (everything parked or crashed) is by
+  // definition under pressure: force the unpark path.
+  const double avg = serving > 0 ? util_sum / static_cast<double>(serving) : 1.0;
+
+  int cancelled = -1;
+  if (avg >= config_.scale_up_utilization) {
+    low_epochs_ = 0;
+    // Reclaim capacity cheapest-first: a draining chip is still warm and
+    // returns to dispatch instantly; only when none exists does a parked
+    // chip wake (and pay its latency). A faulted-down chip is never
+    // unparked — waking a dead domain buys nothing.
+    int drain_victim = -1, park_victim = -1;
+    for (const ChipStatus& c : chips) {
+      if (c.down) continue;
+      if (c.draining && drain_victim < 0) drain_victim = c.chip;
+      if (c.parked && park_victim < 0) park_victim = c.chip;
+    }
+    if (drain_victim >= 0) {
+      out.push_back({ScaleAction::kCancelDrain, drain_victim});
+      cancelled = drain_victim;
+    } else if (park_victim >= 0) {
+      out.push_back({ScaleAction::kUnpark, park_victim});
+    }
+  } else if (avg <= config_.scale_down_utilization && serving > config_.min_active) {
+    ++low_epochs_;
+    if (low_epochs_ >= config_.hysteresis_epochs) {
+      low_epochs_ = 0;
+      // Highest-index serving chip drains (or parks outright if already
+      // idle): a stable victim order keeps the low-index chips warm.
+      for (auto it = chips.rbegin(); it != chips.rend(); ++it) {
+        if (it->down || it->parked || it->draining) continue;
+        out.push_back({it->outstanding == 0 ? ScaleAction::kPark : ScaleAction::kDrain,
+                       it->chip});
+        break;
+      }
+    }
+  } else {
+    // Mid-band epochs reset the hysteresis count: "sustained low" means
+    // consecutive, not cumulative.
+    low_epochs_ = 0;
+  }
+
+  // Any chip that finished draining powers down now, regardless of the
+  // load band — unless this very barrier reclaimed it.
+  for (const ChipStatus& c : chips) {
+    if (c.draining && !c.down && c.outstanding == 0 && c.chip != cancelled) {
+      out.push_back({ScaleAction::kPark, c.chip});
+    }
+  }
+  return out;
+}
+
+void PowerCapConfig::validate() const {
+  NTSERV_EXPECTS(!enabled || fleet_cap.value() > 0.0,
+                 "an enabled power cap needs a positive fleet_cap");
+  NTSERV_EXPECTS(min_share >= 0.0 && min_share <= 1.0, "min_share must be in [0,1]");
+}
+
+PowerCapper::PowerCapper(PowerCapConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::vector<Watt> PowerCapper::split(const std::vector<ChipStatus>& chips,
+                                     Watt reserved) const {
+  std::vector<Watt> budgets(chips.size(), Watt{0.0});
+  const double available = std::max(0.0, config_.fleet_cap.value() - reserved.value());
+
+  double weight_sum = 0.0;
+  int serving = 0;
+  for (const ChipStatus& c : chips) {
+    if (c.down || c.parked) continue;
+    ++serving;
+    weight_sum += 1.0 + static_cast<double>(c.outstanding);
+  }
+  if (serving == 0 || available <= 0.0) return budgets;
+
+  // Guaranteed floor per serving chip, then the remainder by queue
+  // depth. floor*serving <= 1 by the clamp, so the budgets sum exactly
+  // to `available` — the split can never over-commit the cap.
+  const double floor_share =
+      std::min(config_.min_share, 1.0 / static_cast<double>(serving));
+  const double proportional = 1.0 - floor_share * static_cast<double>(serving);
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const ChipStatus& c = chips[i];
+    if (c.down || c.parked) continue;
+    const double w = 1.0 + static_cast<double>(c.outstanding);
+    budgets[i] = Watt{available * (floor_share + proportional * w / weight_sum)};
+  }
+  return budgets;
+}
+
+void FleetGroup::validate() const {
+  NTSERV_EXPECTS(!name.empty(), "fleet group needs a name");
+  NTSERV_EXPECTS(servers > 0, "fleet group needs at least one chip");
+  NTSERV_EXPECTS(governor.kind != ctrl::GovernorKind::kNone,
+                 "a routed group needs a governor (routing is epoch-driven)");
+  governor.validate();
+}
+
+void RouterConfig::validate() const {
+  if (!enabled) return;
+  NTSERV_EXPECTS(groups.size() >= 2, "routing needs at least two fleet groups");
+  NTSERV_EXPECTS(ntc_group >= 0 && ntc_group < static_cast<int>(groups.size()),
+                 "ntc_group out of range");
+  NTSERV_EXPECTS(offpeak_utilization > 0.0 && offpeak_utilization < 1.0,
+                 "off-peak utilization must be in (0,1)");
+  int preferred = 0;
+  for (const FleetGroup& g : groups) {
+    g.validate();
+    if (g.prefers_latency_critical) ++preferred;
+  }
+  NTSERV_EXPECTS(preferred == 1,
+                 "exactly one group must prefer latency-critical traffic");
+  NTSERV_EXPECTS(!groups[static_cast<std::size_t>(ntc_group)].prefers_latency_critical,
+                 "the NTC group soaks batch/off-peak load; pick a different "
+                 "latency-critical home");
+}
+
+MultiFleetRouter::MultiFleetRouter(RouterConfig config) : config_(std::move(config)) {
+  config_.validate();
+  routed_.assign(config_.groups.size(), 0);
+  for (std::size_t g = 0; g < config_.groups.size(); ++g) {
+    if (config_.groups[g].prefers_latency_critical) peak_group_ = static_cast<int>(g);
+  }
+}
+
+int MultiFleetRouter::preferred_group(bool latency_critical) const {
+  // Off-peak: everything consolidates onto the NTC group (the other
+  // groups drain toward idle, where the fixed-frequency fleet is at its
+  // least efficient). At peak the classes split: latency-critical to the
+  // high-frequency home, batch keeps soaking NTC.
+  if (offpeak_) return config_.ntc_group;
+  return latency_critical ? peak_group_ : config_.ntc_group;
+}
+
+void MultiFleetRouter::note_dispatch(int group, bool fallback) {
+  routed_.at(static_cast<std::size_t>(group)) += 1;
+  if (fallback) ++fallback_;
+}
+
+void MultiFleetRouter::observe_epoch(std::uint64_t epoch,
+                                     const std::vector<ChipStatus>& chips) {
+  int serving = 0;
+  double util_sum = 0.0;
+  for (const ChipStatus& c : chips) {
+    if (c.down || c.parked) continue;
+    ++serving;
+    util_sum += c.utilization;
+  }
+  const double avg = serving > 0 ? util_sum / static_cast<double>(serving) : 0.0;
+
+  RouterEpoch rec;
+  rec.epoch = epoch;
+  rec.utilization = avg;
+  rec.offpeak = offpeak_;  // the preference that steered *this* epoch
+  rec.routed = routed_;
+  rec.fallback = fallback_;
+  epochs_.push_back(std::move(rec));
+
+  std::fill(routed_.begin(), routed_.end(), 0);
+  fallback_ = 0;
+  offpeak_ = avg < config_.offpeak_utilization;
+}
+
+void OrchestratorConfig::validate() const {
+  if (autoscaler.enabled) autoscaler.validate();
+  cap.validate();
+  router.validate();
+  // Autoscaling a routed fleet would need per-group floors to preserve
+  // the routing comparison; keep the two orthogonal until a scenario
+  // needs them combined.
+  NTSERV_EXPECTS(!(autoscaler.enabled && router.enabled),
+                 "autoscaler and multi-fleet router cannot be combined (yet)");
+}
+
+}  // namespace ntserv::orch

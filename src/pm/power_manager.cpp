@@ -225,4 +225,9 @@ Joule PowerManager::energy_for_duty(Hertz f, double duty, Second duration) const
   return active_power(f) * (duration * duty) + sleep_power() * (duration * (1.0 - duty));
 }
 
+Joule PowerManager::wake_energy(Hertz f, Second wake_latency) const {
+  NTSERV_EXPECTS(wake_latency.value() >= 0.0, "wake latency must be non-negative");
+  return active_power(f) * wake_latency;
+}
+
 }  // namespace ntserv::pm

@@ -122,6 +122,12 @@ class PowerManager {
   /// energy-proportionality analysis.
   [[nodiscard]] Joule energy_for_duty(Hertz f, double duty, Second duration) const;
 
+  /// Energy of waking a parked (deep-idle) server: the wake latency is a
+  /// service stall charged at full active power at the resume frequency
+  /// (voltage domains and uncore come up before any work is served). The
+  /// orchestration autoscaler (src/orch) reports this slice per unpark.
+  [[nodiscard]] Joule wake_energy(Hertz f, Second wake_latency) const;
+
  private:
   power::ServerPowerModel platform_;
   UipsCurve curve_;

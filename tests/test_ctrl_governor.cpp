@@ -229,5 +229,58 @@ TEST(Governor, NtcBoostSavesEnergyAtComparableTailOnTheDiurnal) {
   EXPECT_FALSE(ntc.truncated);
 }
 
+/// Drive a governor through a load profile, checking at every step that
+/// peek() foretells decide() exactly and mutates nothing: repeated peeks
+/// agree, and margin / boost state are untouched until decide() commits.
+/// (The governor-aware balancer polls peek() mid-epoch, so an impure peek
+/// would corrupt the control loop.)
+void expect_peek_purity(FleetGovernor& gov, Second limit) {
+  const std::pair<double, double> profile[] = {{0.05, 0.1}, {0.50, 0.3}, {0.90, 0.7},
+                                               {0.96, 0.9}, {0.50, 0.4}, {0.20, 0.1},
+                                               {0.01, 0.0}};
+  Hertz f = gov.initial_frequency();
+  for (const auto& [util, tail] : profile) {
+    const EpochObservation obs = observe(f, util, limit * tail);
+    const double margin_before = gov.margin();
+    const bool boosted_before = gov.boosted();
+    const Hertz first = gov.peek(obs);
+    const Hertz second = gov.peek(obs);  // a peek must not advance state
+    EXPECT_DOUBLE_EQ(first.value(), second.value());
+    EXPECT_DOUBLE_EQ(gov.margin(), margin_before);
+    EXPECT_EQ(gov.boosted(), boosted_before);
+    f = gov.decide(obs);
+    EXPECT_DOUBLE_EQ(first.value(), f.value());  // the preview was exact
+  }
+}
+
+TEST(Governor, PeekMatchesDecideForEveryKind) {
+  for (GovernorKind kind :
+       {GovernorKind::kFixedMax, GovernorKind::kOndemandDvfs, GovernorKind::kNtcBoost}) {
+    SCOPED_TRACE(to_string(kind));
+    const auto cfg = config_for(kind);
+    const auto manager = make_power_manager(cfg);
+    const auto gov = make_governor(cfg, manager);
+    expect_peek_purity(*gov, microseconds(60.0));
+  }
+}
+
+TEST(Governor, PeekIsPureUnderAnEngagedGuardband) {
+  for (GovernorKind kind :
+       {GovernorKind::kFixedMax, GovernorKind::kOndemandDvfs, GovernorKind::kNtcBoost}) {
+    SCOPED_TRACE(to_string(kind));
+    const auto cfg = config_for(kind);
+    const auto manager = make_power_manager(cfg);
+    const auto gov = make_governor(cfg, manager);
+    gov->configure_guardband(0.15, 3, 0.05);
+    gov->on_error();
+    ASSERT_TRUE(gov->guardbanded());
+    const double engaged = gov->margin();
+    expect_peek_purity(*gov, microseconds(60.0));
+    // Seven peek+decide steps later the margin is exactly where on_error()
+    // left it: only relax_guardband() (the fleet's barrier hook) moves it.
+    EXPECT_DOUBLE_EQ(gov->margin(), engaged);
+  }
+}
+
 }  // namespace
 }  // namespace ntserv::ctrl

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "../bench/bench_common.hpp"
 #include "dse/dse.hpp"
 
 namespace ntserv::dse {
@@ -117,6 +118,60 @@ TEST(Dse, EmptySweepThrows) {
   SweepResult empty;
   EXPECT_THROW((void)empty.optimal_index(Scope::kCores), ModelError);
   EXPECT_THROW((void)empty.baseline_uips(), ModelError);
+}
+
+/// A registry scenario trimmed so its fleet hits the cycle cap mid-run:
+/// the truncation-propagation fixture.
+dc::Scenario truncating_scenario() {
+  dc::Scenario s = dc::Scenario::by_name("powercap-web");
+  s.orchestration.cap.enabled = false;  // plain governed fleet
+  s.max_cycles = 200'000;               // far below what the run needs
+  return s;
+}
+
+TEST(Dse, GovernorSweepSurfacesTruncatedRuns) {
+  const dc::Scenario s = truncating_scenario();
+  testing::internal::CaptureStderr();
+  const GovernorSweep sweep =
+      sweep_governors(s, {ctrl::GovernorKind::kFixedMax}, ghz(2.0), 1);
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(sweep.points.size(), 1u);
+  const dc::FleetResult& r = sweep.points[0].result;
+  EXPECT_TRUE(r.truncated);  // the flag itself propagates through the sweep
+  // The deterministic post-parallel pass warns on stderr, naming the run.
+  EXPECT_NE(err.find("truncated"), std::string::npos);
+  EXPECT_NE(err.find(s.name), std::string::npos);
+}
+
+TEST(Dse, ProvisioningSweepTreatsTruncatedRunsAsNotMeeting) {
+  const dc::Scenario s = truncating_scenario();
+  std::vector<ProvisioningArm> arms(1);
+  arms[0].label = "fixed";
+  testing::internal::CaptureStderr();
+  const ProvisioningSweep sweep =
+      sweep_provisioning(s, {2, 3}, arms, microseconds(200.0), ghz(2.0), 1);
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(sweep.points.size(), 2u);
+  for (const auto& p : sweep.points) {
+    ASSERT_EQ(p.results.size(), 1u);
+    EXPECT_TRUE(p.results[0].truncated);
+    EXPECT_FALSE(sweep.meets(p.results[0]));  // a partial run never "meets"
+  }
+  EXPECT_EQ(sweep.min_chips(0), -1);
+  EXPECT_NE(err.find("truncated"), std::string::npos);
+}
+
+TEST(Dse, TruncatedMarkFlagsOnlyTruncatedRows) {
+  // The bench-side half: every figure driver marks truncated rows through
+  // this one shared helper.
+  dc::FleetResult r;
+  EXPECT_STREQ(bench::truncated_mark(r), "");
+  r.truncated = true;
+  EXPECT_STREQ(bench::truncated_mark(r), " [TRUNCATED]");
+  EXPECT_STREQ(bench::truncated_mark(false), "");
+  EXPECT_STREQ(bench::truncated_mark(true), " [TRUNCATED]");
 }
 
 }  // namespace
