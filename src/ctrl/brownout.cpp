@@ -1,0 +1,118 @@
+#include "ctrl/brownout.hpp"
+
+#include "common/error.hpp"
+
+namespace ntserv::ctrl {
+
+const char* to_string(BrownoutStage s) {
+  switch (s) {
+    case BrownoutStage::kNormal: return "normal";
+    case BrownoutStage::kShedBatch: return "shed-batch";
+    case BrownoutStage::kRelaxBatchQos: return "relax-batch-qos";
+    case BrownoutStage::kCriticalOnly: return "critical-only";
+  }
+  return "unknown";
+}
+
+void BrownoutConfig::validate() const {
+  if (!enabled) return;
+  NTSERV_EXPECTS(enter_pressure > 0.0, "brownout enter pressure must be positive");
+  NTSERV_EXPECTS(exit_pressure > 0.0 && exit_pressure < enter_pressure,
+                 "brownout exit pressure must be in (0, enter_pressure) — the "
+                 "gap is the hysteresis band");
+  NTSERV_EXPECTS(recover_epochs >= 1, "brownout recovery needs at least one epoch");
+  NTSERV_EXPECTS(batch_timeout_relax >= 1.0,
+                 "batch timeout relaxation cannot tighten the timeout");
+  NTSERV_EXPECTS(max_stage != BrownoutStage::kNormal,
+                 "a brownout ladder clamped to normal cannot act; disable it");
+}
+
+BrownoutController::BrownoutController(BrownoutConfig config) : config_(config) {
+  config_.validate();
+}
+
+BrownoutStage BrownoutController::observe(double pressure) {
+  if (pressure >= config_.enter_pressure) {
+    // Overloaded: escalate one rung per barrier up to the clamp.
+    calm_epochs_ = 0;
+    if (stage_ < config_.max_stage) {
+      stage_ = static_cast<BrownoutStage>(static_cast<int>(stage_) + 1);
+    }
+  } else if (pressure < config_.exit_pressure) {
+    // Calm: step down one rung only after recover_epochs consecutive
+    // calm barriers — restrictions lift slower than they engage.
+    if (stage_ == BrownoutStage::kNormal) {
+      calm_epochs_ = 0;
+    } else if (++calm_epochs_ >= config_.recover_epochs) {
+      calm_epochs_ = 0;
+      stage_ = static_cast<BrownoutStage>(static_cast<int>(stage_) - 1);
+    }
+  } else {
+    // The hysteresis band: hold the stage, restart the calm count.
+    calm_epochs_ = 0;
+  }
+  return stage_;
+}
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+void BreakerConfig::validate() const {
+  if (!enabled) return;
+  NTSERV_EXPECTS(trip_rate > 0.0 && trip_rate <= 1.0,
+                 "breaker trip rate must be in (0,1]");
+  NTSERV_EXPECTS(min_samples >= 1, "breaker needs at least one sample to judge");
+  NTSERV_EXPECTS(open_epochs >= 1, "breaker must dwell open at least one epoch");
+  NTSERV_EXPECTS(probe_successes >= 1,
+                 "half-open needs at least one success to close");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  config_.validate();
+}
+
+void CircuitBreaker::open() {
+  state_ = BreakerState::kOpen;
+  open_dwell_ = 0;
+  probe_wins_ = 0;
+  ++trips_;
+}
+
+void CircuitBreaker::record_failure() {
+  ++window_failures_;
+  // A half-open probe failing is an immediate verdict: back to open for
+  // a fresh dwell. (Closed-state trips wait for the barrier.)
+  if (state_ == BreakerState::kHalfOpen) open();
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == BreakerState::kHalfOpen && ++probe_wins_ >= config_.probe_successes) {
+    state_ = BreakerState::kClosed;
+    probe_wins_ = 0;
+  }
+}
+
+void CircuitBreaker::close_epoch() {
+  if (state_ == BreakerState::kClosed) {
+    if (window_dispatches_ >= static_cast<std::uint64_t>(config_.min_samples) &&
+        static_cast<double>(window_failures_) >=
+            config_.trip_rate * static_cast<double>(window_dispatches_)) {
+      open();
+    }
+  } else if (state_ == BreakerState::kOpen) {
+    if (++open_dwell_ >= config_.open_epochs) {
+      state_ = BreakerState::kHalfOpen;
+      probe_wins_ = 0;
+    }
+  }
+  window_dispatches_ = 0;
+  window_failures_ = 0;
+}
+
+}  // namespace ntserv::ctrl

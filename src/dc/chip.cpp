@@ -432,6 +432,14 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
   return out;
 }
 
+Watt ChipServer::floor_power() const {
+  if (governor_ == nullptr || manager_ == nullptr) return Watt{0.0};
+  return Watt{governor_
+                  ->epoch_energy(*manager_, manager_->curve().front().frequency,
+                                 1.0, Second{1.0})
+                  .value()};
+}
+
 bool ChipServer::pending_descent(double now_s, double epoch_start_s,
                                  double min_window_s) const {
   if (governor_ == nullptr) return false;

@@ -149,6 +149,9 @@ class ChipServer {
   [[nodiscard]] double parked_seconds(double now_s) const {
     return parked_seconds_ + (parked_accruing_ ? now_s - parked_since_s_ : 0.0);
   }
+  /// Wall time this parked span began (meaningful only while parked()):
+  /// the warm/cold sleep ladder prices the wake from it.
+  [[nodiscard]] double parked_since() const { return parked_since_s_; }
   /// Per-epoch Watt budget from the fleet power cap (<= 0 = uncapped):
   /// the governor's decided frequency is clamped to the largest curve
   /// point whose full-duty power fits the budget.
@@ -229,6 +232,13 @@ class ChipServer {
   /// lagging tail signal.
   [[nodiscard]] bool pending_descent(double now_s, double epoch_start_s,
                                      double min_window_s) const;
+
+  /// Full-duty power at the bottom of this chip's DVFS grid — the least
+  /// a serving chip can draw, judged through the governor's own energy
+  /// accounting (so a guardband margin is priced in). The power capper
+  /// reserves these floors before splitting the cap's headroom. Zero
+  /// when ungoverned (no grid to price).
+  [[nodiscard]] Watt floor_power() const;
 
   // ---- Accounting (since construction) ----
   [[nodiscard]] double active_seconds() const { return active_seconds_; }

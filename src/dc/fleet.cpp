@@ -90,13 +90,29 @@ void FleetConfig::validate() const {
   governor.validate();
   faults.validate();
   resilience.validate();
+  brownout.validate();
+  breaker.validate();
   for (const auto& e : faults.events) {
+    if (e.kind == fault::FaultKind::kDomainOutage ||
+        e.kind == fault::FaultKind::kThermalEmergency) {
+      continue;  // domain range is validated by faults.validate()
+    }
     NTSERV_EXPECTS(e.chip < servers, "scripted fault event targets a chip outside the fleet");
+  }
+  for (const auto& d : faults.domains) {
+    for (const int chip : d.members) {
+      NTSERV_EXPECTS(chip < servers, "failure domain names a chip outside the fleet");
+    }
   }
   orchestration.validate();
   if (orchestration.any()) {
     NTSERV_EXPECTS(governor.kind != ctrl::GovernorKind::kNone,
                    "orchestration requires a governed fleet (it acts at the epoch barrier)");
+  }
+  if (brownout.enabled || breaker.enabled) {
+    NTSERV_EXPECTS(governor.kind != ctrl::GovernorKind::kNone,
+                   "brownout and circuit breakers require a governed fleet "
+                   "(they act at the epoch barrier)");
   }
   if (orchestration.router.enabled) {
     int group_servers = 0;
@@ -184,6 +200,18 @@ ClusterFleet::ClusterFleet(FleetConfig config)
                                      managers_[g].get(), gc.qos_p99_limit);
     }
   }
+  // Chip -> failure domain (cross-domain hedge placement, emergency wake).
+  chip_domain_.assign(static_cast<std::size_t>(config_.servers), -1);
+  for (std::size_t d = 0; d < config_.faults.domains.size(); ++d) {
+    for (const int chip : config_.faults.domains[d].members) {
+      chip_domain_[static_cast<std::size_t>(chip)] = static_cast<int>(d);
+    }
+  }
+  if (config_.brownout.enabled) brownout_.emplace(config_.brownout);
+  if (config_.breaker.enabled) {
+    breakers_.assign(static_cast<std::size_t>(config_.servers),
+                     ctrl::CircuitBreaker{config_.breaker});
+  }
   const orch::OrchestratorConfig& oc = config_.orchestration;
   if (oc.autoscaler.enabled) autoscaler_.emplace(oc.autoscaler);
   if (oc.router.enabled) router_.emplace(oc.router);
@@ -210,24 +238,33 @@ int ClusterFleet::outstanding(int s) const {
   return chips_.at(static_cast<std::size_t>(s))->outstanding();
 }
 
-int ClusterFleet::least_loaded(bool healthy_only, int exclude) const {
-  // Parked chips never take work; draining chips only as a last resort,
-  // so work is never stranded when every powered chip happens to drain.
-  int best = -1, best_draining = -1;
+int ClusterFleet::least_loaded(bool healthy_only, int exclude, int avoid_domain) const {
+  // Tiered choice: same-failure-domain chips (hedge placement), draining
+  // chips and breaker-open chips are progressively worse fallbacks —
+  // used only when nothing better serves, so work is never stranded.
+  // Parked chips never take work. Within a tier: fewest outstanding,
+  // lowest index on ties.
+  int best = -1, best_tier = 0;
   for (int s = 0; s < servers(); ++s) {
     if (s == exclude) continue;
     const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
     if (chip.parked()) continue;
     if (healthy_only && chip.down()) continue;
-    if (chip.draining()) {
-      if (best_draining < 0 || outstanding(s) < outstanding(best_draining)) {
-        best_draining = s;
-      }
-      continue;
+    int tier = 0;
+    if (avoid_domain >= 0 && chip_domain_[static_cast<std::size_t>(s)] == avoid_domain) {
+      tier += 1;
     }
-    if (best < 0 || outstanding(s) < outstanding(best)) best = s;
+    if (chip.draining()) tier += 2;
+    if (!breakers_.empty() && !breakers_[static_cast<std::size_t>(s)].allow_dispatch()) {
+      tier += 4;
+    }
+    if (best < 0 || tier < best_tier ||
+        (tier == best_tier && outstanding(s) < outstanding(best))) {
+      best = s;
+      best_tier = tier;
+    }
   }
-  return best >= 0 ? best : best_draining;
+  return best;
 }
 
 int ClusterFleet::pick_server(const Request& req, double now_s) {
@@ -239,6 +276,9 @@ int ClusterFleet::pick_server(const Request& req, double now_s) {
   const auto serving = [&](int s) {
     const ChipServer& chip = *chips_[static_cast<std::size_t>(s)];
     if (chip.parked() || chip.draining()) return false;
+    if (!breakers_.empty() && !breakers_[static_cast<std::size_t>(s)].allow_dispatch()) {
+      return false;  // breaker open: least_loaded may still fall back here
+    }
     return !avoid_down || !chip.down();
   };
   if (router_) {
@@ -434,7 +474,7 @@ FleetResult ClusterFleet::run() {
   std::vector<ctrl::EpochRecord> epoch_records;
 
   // ---- Orchestration state (all idle when orchestration is off) ----
-  std::uint64_t parks = 0, unparks = 0, drains = 0;
+  std::uint64_t parks = 0, unparks = 0, drains = 0, emergency_wakes = 0;
   double wake_energy_j = 0.0;
   int cap_clamp_epochs = 0, cap_violation_epochs = 0;
   double peak_epoch_power = 0.0;
@@ -444,6 +484,34 @@ FleetResult ClusterFleet::run() {
     group_energy_j.assign(config_.orchestration.router.groups.size(), 0.0);
     group_dispatches.assign(config_.orchestration.router.groups.size(), 0);
   }
+
+  // ---- Brownout / breaker state (idle when both are off) ----
+  ctrl::BrownoutStage stage = ctrl::BrownoutStage::kNormal;
+  std::uint64_t brownout_shed_total = 0;
+  int brownout_epochs = 0;
+  std::vector<int> stage_epochs(static_cast<std::size_t>(ctrl::kBrownoutStages), 0);
+  int breaker_open_epochs = 0;
+  /// A correlated (domain-tagged) crash was delivered since the last
+  /// barrier: the autoscaler's next decide() runs in emergency mode.
+  bool domain_outage_pending = false;
+
+  // The ladder's restrictions, queried at dispatch time. Latency-critical
+  // traffic is never restricted; batch traffic loses progressively more.
+  auto shed_by_brownout = [&](bool critical, bool fresh_arrival) {
+    if (critical || stage < ctrl::BrownoutStage::kShedBatch) return false;
+    if (stage >= ctrl::BrownoutStage::kCriticalOnly) return true;  // retries too
+    return fresh_arrival;  // kShedBatch / kRelaxBatchQos: fresh arrivals only
+  };
+  auto hedge_suppressed = [&](bool critical) {
+    if (stage >= ctrl::BrownoutStage::kCriticalOnly) return true;
+    return !critical && stage >= ctrl::BrownoutStage::kRelaxBatchQos;
+  };
+  auto timeout_for = [&](bool critical) {
+    if (!critical && stage >= ctrl::BrownoutStage::kRelaxBatchQos) {
+      return timeout_s * config_.brownout.batch_timeout_relax;
+    }
+    return timeout_s;
+  };
 
   // Snapshot the fleet for the orchestration controllers (live queue
   // depths, last closed epoch's utilization).
@@ -458,6 +526,7 @@ FleetResult ClusterFleet::run() {
       status[s].draining = chip.draining();
       status[s].outstanding = chip.outstanding();
       status[s].utilization = chip.last_epoch_utilization();
+      status[s].floor_power = chip.floor_power();
     }
     return status;
   };
@@ -510,13 +579,53 @@ FleetResult ClusterFleet::run() {
         ++cap_violation_epochs;
       }
     }
+    if (!final_partial && brownout_) {
+      // Overload pressure: outstanding work per serving core. A fleet
+      // with nothing serving but work outstanding is infinitely
+      // pressured — the ladder pins at its maximum stage until capacity
+      // returns.
+      std::uint64_t outstanding_total = 0;
+      int serving_cores = 0;
+      for (const auto& chip : chips_) {
+        outstanding_total += static_cast<std::uint64_t>(chip->outstanding());
+        if (!chip->down() && !chip->parked() && !chip->draining()) {
+          serving_cores += cores_per_server();
+        }
+      }
+      const double pressure =
+          serving_cores > 0
+              ? static_cast<double>(outstanding_total) / static_cast<double>(serving_cores)
+              : (outstanding_total > 0 ? 1e9 : 0.0);
+      stage = brownout_->observe(pressure);
+      // The stage set here governs the *upcoming* epoch's dispatches.
+      ++stage_epochs[static_cast<std::size_t>(stage)];
+      if (stage != ctrl::BrownoutStage::kNormal) {
+        ++brownout_epochs;
+        for (auto& tenant : tenants_) {
+          if (!tenant.spec.latency_critical) ++tenant.brownout_epochs;
+        }
+      }
+    }
+    if (!final_partial && !breakers_.empty()) {
+      for (auto& b : breakers_) {
+        b.close_epoch();
+        if (b.state() == ctrl::BreakerState::kOpen) ++breaker_open_epochs;
+      }
+    }
     if (!final_partial && router_) router_->observe_epoch(epoch_index, chip_status());
     if (!final_partial && autoscaler_) {
-      for (const orch::ScaleDecision& d : autoscaler_->decide(chip_status())) {
+      const bool emergency = domain_outage_pending;
+      domain_outage_pending = false;
+      bool acted = false;
+      for (const orch::ScaleDecision& d : autoscaler_->decide(chip_status(), emergency)) {
+        acted = true;
         ChipServer& chip = *chips_[static_cast<std::size_t>(d.chip)];
         switch (d.action) {
           case orch::ScaleAction::kUnpark: {
-            const Second wake = autoscaler_->config().wake_latency;
+            // Warm/cold ladder: a recently-parked chip wakes at a
+            // fraction of the full latency.
+            const Second wake =
+                autoscaler_->config().wake_latency_for(now_s - chip.parked_since());
             // Reporting slice only: the wake stall is charged through the
             // overlapped epochs like any transition.
             wake_energy_j += managers_[static_cast<std::size_t>(chip.group())]
@@ -524,6 +633,7 @@ FleetResult ClusterFleet::run() {
                                  .value();
             chip.unpark(now_s, wake);
             ++unparks;
+            if (emergency) ++emergency_wakes;
             break;
           }
           case orch::ScaleAction::kCancelDrain:
@@ -540,6 +650,24 @@ FleetResult ClusterFleet::run() {
               ++parks;
             }
             break;
+        }
+      }
+      if (acted && capper_) {
+        // The budgets split at the top of this barrier assumed the
+        // pre-action fleet; re-split over the post-action survivors so a
+        // newly-woken chip does not serve an entire epoch on a zero
+        // budget. Applied without a transition stall (same barrier).
+        const auto status = chip_status();
+        Watt reserved{0.0};
+        for (const auto& st : status) {
+          if (st.parked && !st.down) {
+            reserved += managers_[static_cast<std::size_t>(st.group)]->sleep_power();
+          }
+        }
+        const std::vector<Watt> budgets = capper_->split(status, reserved);
+        for (std::size_t s = 0; s < chips_.size(); ++s) {
+          chips_[s]->set_power_budget(budgets[s]);
+          chips_[s]->apply_power_budget();
         }
       }
     }
@@ -599,6 +727,11 @@ FleetResult ClusterFleet::run() {
   // the request is disposed. Late completions of abandoned copies are
   // counted as wasted work, never measured twice.
   const std::function<void(const Request&)> completion_sink = [&](const Request& req) {
+    // Any completion — even of an abandoned copy — proves the chip can
+    // serve, so the breaker credit lands before the dead-copy discard.
+    if (!breakers_.empty()) {
+      breakers_[static_cast<std::size_t>(req.server)].record_success();
+    }
     if (dead_copies.erase(req.copy) > 0) {
       ++wasted;
       return;
@@ -636,6 +769,9 @@ FleetResult ClusterFleet::run() {
   // fleet-wide admitted count by construction.
   auto note_admit = [&](int server) {
     ++admitted;
+    if (!breakers_.empty()) {
+      breakers_[static_cast<std::size_t>(server)].record_dispatch();
+    }
     if (!group_dispatches.empty()) {
       const auto g =
           static_cast<std::size_t>(chips_[static_cast<std::size_t>(server)]->group());
@@ -648,12 +784,27 @@ FleetResult ClusterFleet::run() {
   // queue, or back the client off, or shed once the retry budget is
   // spent. With failover and a fully-dark fleet, park until a recovery
   // without charging the retry budget.
-  auto dispatch = [&](Request req, double event_s) {
+  auto dispatch = [&](Request req, double event_s, bool fresh) {
     auto pit = pending.find(req.id);
     NTSERV_ENSURES(pit != pending.end(),
                    "dispatch of an untracked request " +
                        run_context(now_s, epoch_index, disposed, total));
     PendingRequest& pr = pit->second;
+    const bool critical =
+        tenants_[static_cast<std::size_t>(req.tenant)].spec.latency_critical;
+    if (shed_by_brownout(critical, fresh)) {
+      // Brownout shed: deliberate load shedding under the ladder, booked
+      // in the same shed column (the tiling invariant holds) plus the
+      // brownout attribution so a post-mortem can split deliberate from
+      // overload shed.
+      TenantState& tenant = tenants_[static_cast<std::size_t>(req.tenant)];
+      ++shed;
+      ++tenant.shed;
+      ++brownout_shed_total;
+      ++tenant.brownout_shed;
+      erase_pending(pit);
+      return;
+    }
     const int server = pick_server(req, now_s);
     if (server < 0) {
       retries_.push(RetryEntry{event_s + admission_.retry_delay(0).value(), req});
@@ -669,8 +820,11 @@ FleetResult ClusterFleet::run() {
       pr.live.push_back({req.copy, server});
       pr.proto.attempts = req.attempts;
       if (chip.down() || chip.degraded()) mark_damaged(pr);
-      if (timeout_s > 0.0) timeouts.push({event_s + timeout_s, req.copy, req.id});
-      if (res.hedging && !pr.hedged && pr.live.size() == 1 && servers() > 1) {
+      if (timeout_s > 0.0) {
+        timeouts.push({event_s + timeout_for(critical), req.copy, req.id});
+      }
+      if (res.hedging && !pr.hedged && pr.live.size() == 1 && servers() > 1 &&
+          !hedge_suppressed(critical)) {
         hedges.push({event_s + hedge_delay(), req.id});
       }
       return;
@@ -696,8 +850,18 @@ FleetResult ClusterFleet::run() {
     if (pit == pending.end()) return;  // already resolved
     PendingRequest& pr = pit->second;
     if (pr.hedged || pr.live.empty()) return;  // one hedge max; back-off limbo
+    const bool critical =
+        tenants_[static_cast<std::size_t>(pr.proto.tenant)].spec.latency_critical;
+    // Re-check at fire time: the ladder may have escalated since the
+    // hedge was scheduled, and a hedge is pure extra load.
+    if (hedge_suppressed(critical)) return;
     const int primary = pr.live.front().server;
-    const int server = least_loaded(/*healthy_only=*/true, /*exclude=*/primary);
+    // Cross-domain placement: prefer a healthy chip in a *different*
+    // failure domain (a hedge against the primary's rack dying), falling
+    // back to any healthy chip via the tier scheme.
+    const int server =
+        least_loaded(/*healthy_only=*/true, /*exclude=*/primary,
+                     /*avoid_domain=*/chip_domain_[static_cast<std::size_t>(primary)]);
     if (server < 0) return;
     auto& chip = *chips_[static_cast<std::size_t>(server)];
     if (!admission_.admit(outstanding(server), cores_per_server())) return;
@@ -712,7 +876,7 @@ FleetResult ClusterFleet::run() {
     ++hedged_count;
     ++tenants_[static_cast<std::size_t>(req.tenant)].hedged;
     if (chip.down() || chip.degraded()) mark_damaged(pr);
-    if (timeout_s > 0.0) timeouts.push({event_s + timeout_s, req.copy, id});
+    if (timeout_s > 0.0) timeouts.push({event_s + timeout_for(critical), req.copy, id});
   };
 
   // Expire per-attempt timeouts due by `now_s`: abandon the late copy;
@@ -728,6 +892,9 @@ FleetResult ClusterFleet::run() {
       auto lit = std::find_if(pr.live.begin(), pr.live.end(),
                               [&](const LiveCopy& c) { return c.copy == d.copy; });
       if (lit == pr.live.end()) continue;  // copy already resolved
+      if (!breakers_.empty()) {
+        breakers_[static_cast<std::size_t>(lit->server)].record_failure();
+      }
       cancel_copy(*lit);
       pr.live.erase(lit);
       if (!pr.live.empty()) continue;  // a sibling copy is still racing
@@ -773,6 +940,9 @@ FleetResult ClusterFleet::run() {
     };
     switch (e.kind) {
       case fault::FaultKind::kCrash: {
+        // A domain-tagged crash is one chip of a correlated outage: arm
+        // the autoscaler's emergency wake for the next barrier.
+        if (e.domain >= 0) domain_outage_pending = true;
         if (chip.down()) return;  // scripted double-crash: idempotent
         ++chips_down;
         std::vector<Request> victims = chip.crash(now_s);
@@ -823,6 +993,11 @@ FleetResult ClusterFleet::run() {
         chip.recover(now_s);
         break;
       case fault::FaultKind::kDegrade:
+        // A degrade is a serving failure from the breaker's viewpoint:
+        // errors on this chip count toward its trip rate.
+        if (!breakers_.empty()) {
+          breakers_[static_cast<std::size_t>(e.chip)].record_failure();
+        }
         if (chip_degraded[static_cast<std::size_t>(e.chip)] == 0) {
           chip_degraded[static_cast<std::size_t>(e.chip)] = 1;
           ++chips_degraded;
@@ -837,6 +1012,13 @@ FleetResult ClusterFleet::run() {
           --chips_degraded;
         }
         chip.restore();
+        break;
+      case fault::FaultKind::kDomainOutage:
+      case fault::FaultKind::kThermalEmergency:
+        // Domain-level kinds expand to per-chip primitives when the
+        // schedule is resolved; the injector never delivers them.
+        NTSERV_EXPECTS(false, "unexpanded domain-level fault reached delivery " +
+                                  run_context(now_s, epoch_index, disposed, total));
         break;
     }
     note_recovery(now_s);
@@ -892,11 +1074,11 @@ FleetResult ClusterFleet::run() {
           tenant.next_arrival_s = tenant.arrivals->next().value();
         }
         pending.emplace(req.id, PendingRequest{req, {}, false, false});
-        dispatch(req, req.arrival_s);
+        dispatch(req, req.arrival_s, /*fresh=*/true);
       } else {
         const RetryEntry entry = retries_.top();
         retries_.pop();
-        dispatch(entry.request, entry.due_s);
+        dispatch(entry.request, entry.due_s, /*fresh=*/false);
       }
     }
     process_hedges();
@@ -927,6 +1109,11 @@ FleetResult ClusterFleet::run() {
         }
       }
       if (!std::isfinite(next_event)) {
+        // The last request can be disposed *inside* this iteration (a
+        // timeout expiry with the fleet already idle): nothing is left
+        // to wait for, so take the loop exit the top-of-loop check would
+        // have taken.
+        if (disposed >= total) break;
         // A crashed chip that never recovers can strand its queue (and,
         // health-blind, its in-flight work) with no future event: run
         // out the clock so the stranded requests surface as in_flight on
@@ -987,6 +1174,11 @@ FleetResult ClusterFleet::run() {
     }
   }
   r.guardband_epochs = guardband_epochs;
+  r.brownout_shed = brownout_shed_total;
+  r.brownout_epochs = brownout_epochs;
+  r.brownout_stage_epochs = stage_epochs;
+  for (const auto& b : breakers_) r.breaker_trips += b.trips();
+  r.breaker_open_epochs = breaker_open_epochs;
   // In-flight remainders at truncation, attributed to their tenants so
   // the per-tenant ledgers tile too.
   for (const auto& [id, pr] : pending) {
@@ -1031,6 +1223,7 @@ FleetResult ClusterFleet::run() {
   r.autoscale_parks = parks;
   r.autoscale_unparks = unparks;
   r.autoscale_drains = drains;
+  r.emergency_wakes = emergency_wakes;
   double parked_s = 0.0;
   for (const auto& chip : chips_) parked_s += chip->parked_seconds(now_s);
   r.parked_seconds = Second{parked_s};
@@ -1074,6 +1267,8 @@ FleetResult ClusterFleet::run() {
     tr.redispatched = state.redispatched;
     tr.in_flight = state.in_flight_at_end;
     tr.degraded_sla_violations = state.degraded_sla_violations;
+    tr.brownout_shed = state.brownout_shed;
+    tr.brownout_epochs = state.brownout_epochs;
     r.sla_violations += state.sla_violations;
     r.degraded_sla_violations += state.degraded_sla_violations;
     NTSERV_ENSURES(state.offered ==

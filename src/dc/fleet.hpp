@@ -47,6 +47,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "ctrl/admission.hpp"
+#include "ctrl/brownout.hpp"
 #include "ctrl/budget.hpp"
 #include "ctrl/governor.hpp"
 #include "dc/arrival.hpp"
@@ -146,6 +147,13 @@ struct TenantResult {
   /// Measured SLA violations among requests whose lifetime overlapped an
   /// active fault window (subset of sla_violations).
   std::uint64_t degraded_sla_violations = 0;
+  /// Requests the brownout ladder shed by priority (subset of `shed`):
+  /// the graceful-degradation tax this tenant paid during overload.
+  std::uint64_t brownout_shed = 0;
+  /// Epochs during which the standing ladder stage restricted this
+  /// tenant's traffic (batch tenants from kShedBatch up; latency-critical
+  /// tenants are never restricted, so always 0 for them).
+  std::uint64_t brownout_epochs = 0;
   Second mean_latency{0.0};
   Second p50{0.0};
   Second p95{0.0};
@@ -213,11 +221,21 @@ struct FleetConfig {
   /// Power-aware packing bound: a chip accepts new work while its
   /// outstanding count is below depth_per_core * cores.
   double pack_depth_per_core = 2.0;
-  /// Fault schedule (crashes, recoveries, degradations). Empty = the
-  /// perfectly-healthy fleet of the earlier PRs, bit-identical to them.
+  /// Fault schedule (crashes, recoveries, degradations, correlated
+  /// domain outages). Empty = the perfectly-healthy fleet of the earlier
+  /// PRs, bit-identical to them.
   fault::FaultConfig faults;
   /// Request-level resilience: failover, timeouts, hedging.
   ResilienceConfig resilience;
+  /// Overload brownout: the priority ladder walked at the epoch barrier
+  /// when offered load outruns surviving capacity (requires a governed
+  /// fleet — the ladder acts at the barrier).
+  ctrl::BrownoutConfig brownout;
+  /// Per-chip circuit breakers: a chip whose recent timeout/error rate
+  /// trips the threshold stops receiving dispatches until its half-open
+  /// probe succeeds (requires a governed fleet — trips happen at the
+  /// barrier).
+  ctrl::BreakerConfig breaker;
   /// Fleet orchestration above the per-chip governors: autoscaling,
   /// fleet-level power capping, multi-fleet tech routing (src/orch).
   /// Anything enabled here requires a governed fleet (the controllers
@@ -273,6 +291,16 @@ struct FleetResult {
   Second time_to_recover{0.0};
   /// Chip-epochs that ran with a nonzero guardband margin.
   int guardband_epochs = 0;
+
+  // ---- Brownout / circuit breaker (zero when both are off) ----
+  std::uint64_t brownout_shed = 0;  ///< requests the ladder shed (subset of shed)
+  int brownout_epochs = 0;          ///< epochs spent above kNormal
+  /// Epochs spent at each ladder rung (size ctrl::kBrownoutStages,
+  /// kNormal first) — the time-in-stage attribution; sums to the run's
+  /// epoch count when the ladder is enabled.
+  std::vector<int> brownout_stage_epochs;
+  int breaker_trips = 0;       ///< breaker open transitions across chips
+  int breaker_open_epochs = 0; ///< chip-epochs spent with dispatch blocked
   Second mean_latency{0.0};
   Second p50{0.0};
   Second p95{0.0};
@@ -304,6 +332,9 @@ struct FleetResult {
   std::uint64_t autoscale_parks = 0;    ///< chips powered down to the sleep floor
   std::uint64_t autoscale_unparks = 0;  ///< parked chips woken (paid wake latency)
   std::uint64_t autoscale_drains = 0;   ///< drain orders issued (incl. cancelled)
+  /// Unparks issued by the domain-outage emergency response (subset of
+  /// autoscale_unparks); warm wakes among them paid the reduced latency.
+  std::uint64_t emergency_wakes = 0;
   Second parked_seconds{0.0};           ///< chip-seconds at the sleep floor
   /// Energy of the wake stalls (a reporting slice of `energy`, charged
   /// through the overlapped epochs like any transition).
@@ -359,6 +390,8 @@ class ClusterFleet {
     std::uint64_t redispatched = 0;
     std::uint64_t sla_violations = 0;
     std::uint64_t degraded_sla_violations = 0;
+    std::uint64_t brownout_shed = 0;
+    std::uint64_t brownout_epochs = 0;
     std::uint64_t in_flight_at_end = 0;
     StreamingPercentiles latency;
     RunningStats latency_mean;
@@ -380,8 +413,12 @@ class ClusterFleet {
   [[nodiscard]] int pick_server(const Request& req, double now_s);
   /// Least-outstanding chip; with `healthy_only`, crashed chips are
   /// excluded and -1 means none are up. `exclude` skips one chip index
-  /// (hedge placement: the duplicate must race a different chip).
-  [[nodiscard]] int least_loaded(bool healthy_only = false, int exclude = -1) const;
+  /// (hedge placement: the duplicate must race a different chip);
+  /// `avoid_domain` deprioritizes chips in that failure domain (hedge
+  /// placement prefers a different domain, falling back inside it).
+  /// Breaker-open chips are similarly a last-resort tier, after draining.
+  [[nodiscard]] int least_loaded(bool healthy_only = false, int exclude = -1,
+                                 int avoid_domain = -1) const;
   [[nodiscard]] bool any_core_busy() const;
 
   FleetConfig config_;
@@ -397,6 +434,12 @@ class ClusterFleet {
   std::optional<orch::Autoscaler> autoscaler_;
   std::optional<orch::PowerCapper> capper_;
   std::optional<orch::MultiFleetRouter> router_;
+  // Brownout ladder + per-chip circuit breakers (epoch-barrier driven).
+  std::optional<ctrl::BrownoutController> brownout_;
+  std::vector<ctrl::CircuitBreaker> breakers_;  ///< one per chip when enabled
+  /// Chip -> failure domain (-1 outside any domain): cross-domain hedge
+  /// placement and the emergency-wake trigger both consult it.
+  std::vector<int> chip_domain_;
   std::priority_queue<RetryEntry, std::vector<RetryEntry>, std::greater<>> retries_;
   int round_robin_next_ = 0;
   bool governed_ = false;

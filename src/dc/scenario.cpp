@@ -39,6 +39,8 @@ FleetConfig Scenario::fleet_config(Hertz f) const {
   cfg.faults = faults;
   cfg.resilience = resilience;
   cfg.orchestration = orchestration;
+  cfg.brownout = brownout;
+  cfg.breaker = breaker;
   cfg.max_cycles = max_cycles;
   cfg.requests = requests;
   cfg.warmup_requests = warmup_requests;
@@ -496,6 +498,171 @@ std::vector<Scenario> Scenario::registry() {
     batch.requests = 300;
     s.tenants = {interactive, batch};
     s.seed = 31;
+    all.push_back(s);
+  }
+  // ---- Correlated failure domains + brownout (src/fault, ctrl/brownout) ----
+  {
+    // Rack-scale loss at the diurnal peak: 6 chips in 2 three-chip failure
+    // domains. The autoscaler parks highest-index first, so the low-index
+    // chips of rack0 are exactly the ones that never sleep — and exactly
+    // the ones lost when rack0 drops at the crest. The survivors are one
+    // or two serving chips plus the recently-parked spares of rack1. The
+    // resilient arm survives on the ladder: the brownout controller sheds
+    // batch work at the barrier, the emergency wake bypasses the
+    // hysteresis gate and revives every parked spare at once at the warm
+    // fraction of the wake latency, and hedges place across domains. The
+    // blind arm (bench/fig8_brownout strips brownout, breaker and the
+    // emergency wake) wakes one chip per barrier and keeps soaking batch
+    // work on the survivors, blowing the web tenant's p99. Either way the
+    // accounting ledger must tile.
+    Scenario s;
+    s.name = "rack-loss-web";
+    s.description = "Web diurnal + batch on 6 chips in 2 racks; rack0 dies at the peak";
+    s.workload = "Web Serving";
+    s.policy = BalancePolicy::kLeastLoaded;
+    s.servers = 6;
+    s.governor.kind = ctrl::GovernorKind::kFixedMax;
+    s.governor.epoch_quanta = 2048;  // ~65 us epochs at 2 GHz base
+    s.orchestration.autoscaler.enabled = true;
+    s.orchestration.autoscaler.min_active = 2;
+    // Wake late and park aggressively: the crest rides four serving chips
+    // at ~80% utilization with two parked spares — the capacity the
+    // emergency wake reclaims all at once when rack0 drops, where the
+    // blind arm's scale-up path wakes one chip per barrier.
+    s.orchestration.autoscaler.scale_up_utilization = 0.85;
+    s.orchestration.autoscaler.scale_down_utilization = 0.45;
+    s.orchestration.autoscaler.hysteresis_epochs = 2;
+    s.orchestration.autoscaler.wake_latency = microseconds(50.0);
+    // Chips parked within the last millisecond are still warm: an
+    // emergency wake at the crest pays a quarter of the latency.
+    s.orchestration.autoscaler.warm_sleep_window = Second{1e-3};
+    s.orchestration.autoscaler.warm_wake_fraction = 0.25;
+    TenantSpec web;
+    web.name = "web";
+    web.arrival.kind = ArrivalKind::kDiurnal;
+    web.arrival.rate = rate_for_load(0.32, 6, cores, 8'000);
+    web.arrival.diurnal_trough = 0.1;
+    web.arrival.diurnal_period = Second{2e-3};
+    // A tight interactive SLA: the healthy fleet runs at ~22 us p99 and
+    // the full ladder holds ~29 us through the outage; the blind arm's
+    // one-chip-per-barrier recovery blows through ~70 us.
+    web.qos_p99_limit = microseconds(50.0);
+    web.requests = 900;
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.arrival.kind = ArrivalKind::kPoisson;
+    batch.arrival.rate = rate_for_load(0.15, 6, cores, 8'000);
+    batch.latency_critical = false;
+    batch.requests = 500;
+    s.tenants = {web, batch};
+    s.faults.domains = {{"rack0", {0, 1, 2}}, {"rack1", {3, 4, 5}}};
+    {
+      fault::FaultEvent outage;
+      outage.at_s = 1.0e-3;  // the diurnal crest (trough-started sinusoid)
+      outage.kind = fault::FaultKind::kDomainOutage;
+      outage.domain = 0;
+      outage.duration_s = 0.4e-3;
+      s.faults.events = {outage};
+    }
+    s.resilience.failover = true;
+    s.resilience.hedging = true;
+    s.resilience.hedge_multiplier = 3.0;
+    s.resilience.hedge_min_delay = microseconds(60.0);
+    s.resilience.timeout = microseconds(300.0);
+    s.admission.enabled = true;
+    // Loose enough that the one-barrier gap between the outage and the
+    // emergency wake queues on the survivor instead of shedding web work;
+    // the brownout ladder, not saturation admission, is the shedder here.
+    s.admission.max_outstanding_per_core = 16.0;
+    s.admission.max_retries = 3;
+    s.admission.backoff = microseconds(20.0);
+    s.brownout.enabled = true;
+    s.breaker.enabled = true;
+    s.seed = 32;
+    all.push_back(s);
+  }
+  {
+    // A cooling failure on the NTC rack of a routed two-tech fleet under
+    // a binding cap: the thermal emergency caps rack0's clocks for half a
+    // millisecond while the capper's group weights keep the budget on the
+    // conventional (latency-critical) group and the brownout ladder sheds
+    // batch work that the capped NTC group can no longer soak.
+    Scenario s;
+    s.name = "thermal-emergency-mixed";
+    s.description = "Routed NTC+conv fleet under a cap; thermal emergency caps the NTC rack";
+    s.workload = "Web Serving";
+    s.policy = BalancePolicy::kLeastLoaded;  // superseded by the router
+    s.servers = 4;
+    s.governor.kind = ctrl::GovernorKind::kOndemandDvfs;
+    s.governor.epoch_quanta = 2048;
+    orch::FleetGroup ntc;
+    ntc.name = "ntc";
+    ntc.servers = 2;
+    ntc.governor.kind = ctrl::GovernorKind::kOndemandDvfs;
+    ntc.governor.epoch_quanta = 2048;
+    // No guardband in this scenario (fig6 owns that story): a mid-epoch
+    // margin engage on the thermal degrade would charge more Watts than
+    // the barrier's budget split assumed and read as a cap violation.
+    ntc.governor.guardband_margin = 0.0;
+    orch::FleetGroup conv;
+    conv.name = "conv";
+    conv.servers = 2;
+    conv.governor.kind = ctrl::GovernorKind::kOndemandDvfs;
+    conv.governor.epoch_quanta = 2048;
+    conv.governor.tech = tech::TechnologyParams::bulk28();
+    conv.governor.guardband_margin = 0.0;
+    conv.prefers_latency_critical = true;
+    s.orchestration.router.enabled = true;
+    s.orchestration.router.groups = {ntc, conv};
+    s.orchestration.router.ntc_group = 0;
+    s.orchestration.router.offpeak_utilization = 0.35;
+    {
+      // A cap at ~3 chips' worth of full-speed power over 4 chips, with
+      // the conventional group weighted 3:1 so the latency-critical home
+      // keeps its budget when the emergency squeezes the split.
+      ctrl::GovernorConfig gc = s.governor;
+      gc.curve = ctrl::default_uips_curve();
+      const pm::PowerManager manager = ctrl::make_power_manager(gc);
+      s.orchestration.cap.enabled = true;
+      s.orchestration.cap.fleet_cap =
+          Watt{3.0 * manager.active_power(Hertz{2e9}).value()};
+      s.orchestration.cap.group_weights = {1.0, 3.0};
+    }
+    TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.arrival.kind = ArrivalKind::kDiurnal;
+    interactive.arrival.rate = rate_for_load(0.5, 4, cores, 8'000);
+    interactive.arrival.diurnal_trough = 0.1;
+    interactive.arrival.diurnal_period = Second{2e-3};
+    interactive.qos_p99_limit = microseconds(150.0);
+    interactive.requests = 500;
+    TenantSpec batch;
+    batch.name = "batch";
+    batch.arrival.kind = ArrivalKind::kPoisson;
+    batch.arrival.rate = rate_for_load(0.15, 4, cores, 8'000);
+    batch.latency_critical = false;
+    batch.requests = 300;
+    s.tenants = {interactive, batch};
+    s.faults.domains = {{"ntc-rack", {0, 1}}, {"conv-rack", {2, 3}}};
+    {
+      fault::FaultEvent thermal;
+      thermal.at_s = 0.8e-3;
+      thermal.kind = fault::FaultKind::kThermalEmergency;
+      thermal.domain = 0;
+      thermal.freq_cap = 0.6;
+      thermal.duration_s = 0.5e-3;
+      s.faults.events = {thermal};
+    }
+    s.resilience.failover = true;
+    s.resilience.hedging = true;
+    s.resilience.hedge_multiplier = 3.0;
+    s.resilience.hedge_min_delay = microseconds(60.0);
+    s.resilience.timeout = microseconds(400.0);
+    s.admission.enabled = true;
+    s.admission.max_outstanding_per_core = 6.0;
+    s.brownout.enabled = true;
+    s.breaker.enabled = true;
+    s.seed = 33;
     all.push_back(s);
   }
   {

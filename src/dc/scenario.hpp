@@ -47,6 +47,10 @@ struct Scenario {
   /// Fleet orchestration (src/orch): autoscaling, fleet power cap,
   /// multi-fleet tech routing. Defaults to all-off.
   orch::OrchestratorConfig orchestration;
+  /// Overload brownout ladder and per-chip circuit breakers
+  /// (ctrl/brownout). Both default off (the fully-patient fleet).
+  ctrl::BrownoutConfig brownout;
+  ctrl::BreakerConfig breaker;
   /// Safety stop (FleetConfig::max_cycles), in cycles of the base
   /// frequency; tests trim it to force a truncated run.
   Cycle max_cycles = 400'000'000;

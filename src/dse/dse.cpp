@@ -474,6 +474,66 @@ FaultSweep sweep_faults(const dc::Scenario& scenario,
   return sweep;
 }
 
+std::vector<BrownoutArm> default_brownout_arms() {
+  std::vector<BrownoutArm> arms(4);
+  arms[0].label = "off";
+  arms[1].label = "shed-only";
+  arms[1].brownout = true;
+  arms[1].max_stage = ctrl::BrownoutStage::kShedBatch;
+  arms[2].label = "ladder";
+  arms[2].brownout = true;
+  arms[2].breaker = true;
+  arms[3].label = "ladder+ewake";
+  arms[3].brownout = true;
+  arms[3].breaker = true;
+  arms[3].emergency_wake = true;
+  return arms;
+}
+
+FaultSweep sweep_faults(const dc::Scenario& scenario,
+                        const std::vector<BrownoutArm>& arms, Hertz f) {
+  return sweep_faults(scenario, arms, f, sim::ThreadPool::default_threads());
+}
+
+FaultSweep sweep_faults(const dc::Scenario& scenario,
+                        const std::vector<BrownoutArm>& arms, Hertz f,
+                        int threads) {
+  NTSERV_EXPECTS(!arms.empty(), "fault sweep needs at least one brownout arm");
+  NTSERV_EXPECTS(scenario.faults.any(),
+                 "fault sweep needs a scenario with a fault schedule");
+  FaultSweep sweep;
+  sweep.scenario = scenario.name;
+  sweep.workload = scenario.workload;
+  sweep.points.resize(arms.size());
+
+  const auto apply_arm = [](dc::Scenario& s, const BrownoutArm& arm) {
+    s.brownout.enabled = arm.brownout;
+    if (arm.brownout) s.brownout.max_stage = arm.max_stage;
+    s.breaker.enabled = arm.breaker;
+    s.orchestration.autoscaler.emergency_wake = arm.emergency_wake;
+  };
+
+  // Task 0 is the healthy reference (faults stripped, first arm's
+  // posture); tasks 1..N are the arms on the shared fault trace.
+  sim::parallel_for_index(threads, arms.size() + 1, [&](std::size_t task) {
+    dc::Scenario s = scenario;
+    if (task == 0) {
+      s.faults = fault::FaultConfig{};
+      apply_arm(s, arms.front());
+      sweep.healthy = dc::run_scenario(s, f);
+    } else {
+      apply_arm(s, arms[task - 1]);
+      sweep.points[task - 1].label = arms[task - 1].label;
+      sweep.points[task - 1].result = dc::run_scenario(s, f);
+    }
+  });
+  warn_truncated("brownout", sweep.scenario, "healthy reference", sweep.healthy);
+  for (const auto& p : sweep.points) {
+    warn_truncated("brownout", sweep.scenario, "arm '" + p.label + "'", p.result);
+  }
+  return sweep;
+}
+
 double consolidation_headroom(const SweepResult& sweep, const qos::QosTarget& target) {
   const double base = sweep.baseline_uips();
   const Hertz floor = qos::frequency_floor(target, sweep.uips_samples(), base);

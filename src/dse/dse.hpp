@@ -221,6 +221,37 @@ struct FaultSweep {
                                       const std::vector<ResilienceArm>& arms,
                                       Hertz f);
 
+/// One graceful-degradation posture to run a faulted scenario under. The
+/// scenario's fault schedule, traffic and resilience are kept; only the
+/// brownout ladder, the circuit breakers, and the autoscaler's emergency
+/// wake are overridden per arm, so a sweep contrasts e.g. a blind fleet
+/// against the full ladder on the *same* correlated failure trace.
+struct BrownoutArm {
+  std::string label;
+  bool brownout = false;  ///< enable the overload shedding ladder
+  /// Deepest ladder rung the arm may escalate to (shed-only arms clamp
+  /// at kShedBatch); ignored when `brownout` is off.
+  ctrl::BrownoutStage max_stage = ctrl::BrownoutStage::kCriticalOnly;
+  bool breaker = false;         ///< enable per-chip circuit breakers
+  bool emergency_wake = false;  ///< domain outage wakes parked chips at once
+};
+
+/// The canonical four-arm graceful-degradation ladder: everything off,
+/// shed-only (ladder clamped at its first rung), the full ladder with
+/// breakers, and the full ladder plus the autoscaler's emergency wake.
+[[nodiscard]] std::vector<BrownoutArm> default_brownout_arms();
+
+/// Run one faulted scenario under each brownout arm (plus the healthy
+/// reference, first arm's posture). Same determinism contract as the
+/// resilience-arm overload: the arrival stream and the fault trace are
+/// shared across arms and bit-identical for any thread count.
+[[nodiscard]] FaultSweep sweep_faults(const dc::Scenario& scenario,
+                                      const std::vector<BrownoutArm>& arms,
+                                      Hertz f, int threads);
+[[nodiscard]] FaultSweep sweep_faults(const dc::Scenario& scenario,
+                                      const std::vector<BrownoutArm>& arms,
+                                      Hertz f);
+
 /// Consolidation headroom (Sec. V-C): with QoS met at `qos_floor` but the
 /// efficiency optimum at `f_opt` > floor, the spare throughput factor
 /// UIPS(f_opt)/UIPS(floor) bounds how much additional co-located load the

@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -14,9 +15,24 @@ const char* to_string(FaultKind k) {
     case FaultKind::kRecover: return "recover";
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kRestore: return "restore";
+    case FaultKind::kDomainOutage: return "domain-outage";
+    case FaultKind::kThermalEmergency: return "thermal-emergency";
   }
   return "unknown";
 }
+
+namespace {
+
+[[nodiscard]] bool domain_level(FaultKind k) {
+  return k == FaultKind::kDomainOutage || k == FaultKind::kThermalEmergency;
+}
+
+[[nodiscard]] std::string domain_label(const FaultDomain& d, std::size_t index) {
+  return d.name.empty() ? "domain " + std::to_string(index)
+                        : "domain '" + d.name + "'";
+}
+
+}  // namespace
 
 void MtbfConfig::validate() const {
   if (!enabled) return;
@@ -33,42 +49,111 @@ void MtbfConfig::validate() const {
 
 void FaultConfig::validate() const {
   mtbf.validate();
+  domain_mtbf.validate();
+  NTSERV_EXPECTS(!domain_mtbf.enabled || !domains.empty(),
+                 "a domain MTBF process needs at least one failure domain");
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    NTSERV_EXPECTS(!domains[d].members.empty(),
+                   domain_label(domains[d], d) + " has zero member chips");
+    for (const int chip : domains[d].members) {
+      NTSERV_EXPECTS(chip >= 0, domain_label(domains[d], d) +
+                                    " names a negative chip index");
+    }
+  }
+  // Domains must be disjoint: one chip crashing from two overlapping
+  // outages would deliver recover events out of order.
+  std::vector<int> members;
+  for (const auto& d : domains) {
+    members.insert(members.end(), d.members.begin(), d.members.end());
+  }
+  std::sort(members.begin(), members.end());
+  const auto dup = std::adjacent_find(members.begin(), members.end());
+  NTSERV_EXPECTS(dup == members.end(),
+                 "chip " + (dup == members.end() ? std::string{}
+                                                 : std::to_string(*dup)) +
+                     " belongs to more than one failure domain");
   for (const auto& e : events) {
     NTSERV_EXPECTS(e.at_s >= 0.0, "fault events cannot predate the run");
-    NTSERV_EXPECTS(e.chip >= 0, "fault events need a non-negative chip index");
     NTSERV_EXPECTS(e.freq_cap > 0.0 && e.freq_cap <= 1.0,
                    "degrade frequency cap must be in (0,1]");
+    if (domain_level(e.kind)) {
+      NTSERV_EXPECTS(e.domain >= 0 &&
+                         e.domain < static_cast<int>(domains.size()),
+                     "domain-level fault event at t=" + std::to_string(e.at_s) +
+                         " targets domain " + std::to_string(e.domain) +
+                         " of " + std::to_string(domains.size()));
+    } else {
+      NTSERV_EXPECTS(e.chip >= 0, "fault events need a non-negative chip index");
+    }
   }
 }
 
 namespace {
 
-/// Sample one chip's alternating fail/repair renewal process out to the
-/// horizon. The stream is a pure function of (seed, salt, chip), so the
-/// schedule never depends on chip construction order or thread count.
-void sample_renewal(std::vector<FaultEvent>& out, int chip, std::uint64_t seed,
-                    std::uint64_t salt, double up_mean_s, double down_mean_s,
-                    double horizon_s, FaultKind fail, FaultKind repair,
-                    double freq_cap, int core_cap) {
-  if (up_mean_s <= 0.0) return;
-  Xoshiro256StarStar rng{derive_seed(seed, salt + static_cast<std::uint64_t>(chip))};
+/// One down/up cycle of a renewal process. `up_s` is +inf when the
+/// repair falls past the horizon (the subject never recovers in-run).
+struct Interval {
+  double down_s = 0.0;
+  double up_s = std::numeric_limits<double>::infinity();
+};
+
+/// Sample an alternating fail/repair renewal process out to the horizon.
+/// The stream is a pure function of `stream_seed`, so a schedule never
+/// depends on construction order or thread count.
+std::vector<Interval> sample_intervals(std::uint64_t stream_seed, double up_mean_s,
+                                       double down_mean_s, double horizon_s) {
+  std::vector<Interval> out;
+  if (up_mean_s <= 0.0) return out;
+  Xoshiro256StarStar rng{stream_seed};
   double t = 0.0;
   for (;;) {
     t += rng.exponential(1.0 / up_mean_s);
-    if (t >= horizon_s) return;
+    if (t >= horizon_s) return out;
+    Interval iv;
+    iv.down_s = t;
+    t += rng.exponential(1.0 / down_mean_s);
+    if (t < horizon_s) iv.up_s = t;
+    out.push_back(iv);
+    if (t >= horizon_s) return out;  // never recovers inside the run
+  }
+}
+
+/// Emit one chip's fail/repair pair per interval.
+void emit_renewal(std::vector<FaultEvent>& out, const std::vector<Interval>& cycles,
+                  int chip, int domain, FaultKind fail, FaultKind repair,
+                  double freq_cap, int core_cap) {
+  for (const Interval& iv : cycles) {
     FaultEvent down;
-    down.at_s = t;
+    down.at_s = iv.down_s;
     down.chip = chip;
     down.kind = fail;
     down.freq_cap = freq_cap;
     down.core_cap = core_cap;
+    down.domain = domain;
     out.push_back(down);
-    t += rng.exponential(1.0 / down_mean_s);
-    if (t >= horizon_s) return;  // never recovers inside the run
-    FaultEvent up = down;
-    up.at_s = t;
-    up.kind = repair;
-    out.push_back(up);
+    if (!std::isinf(iv.up_s)) {
+      FaultEvent up = down;
+      up.at_s = iv.up_s;
+      up.kind = repair;
+      out.push_back(up);
+    }
+  }
+}
+
+/// Expand a domain-level event into per-member primitives. Every member
+/// fails at the same instant (that is the correlation) and, when the
+/// event carries a dwell, recovers at the same instant too.
+void expand_domain_event(std::vector<FaultEvent>& out, const FaultEvent& e,
+                         const FaultDomain& dom) {
+  const bool outage = e.kind == FaultKind::kDomainOutage;
+  const FaultKind fail = outage ? FaultKind::kCrash : FaultKind::kDegrade;
+  const FaultKind repair = outage ? FaultKind::kRecover : FaultKind::kRestore;
+  std::vector<Interval> one(1);
+  one[0].down_s = e.at_s;
+  if (e.duration_s > 0.0) one[0].up_s = e.at_s + e.duration_s;
+  for (const int chip : dom.members) {
+    emit_renewal(out, one, chip, e.domain, fail, repair,
+                 outage ? 1.0 : e.freq_cap, outage ? 0 : e.core_cap);
   }
 }
 
@@ -77,28 +162,74 @@ void sample_renewal(std::vector<FaultEvent>& out, int chip, std::uint64_t seed,
 FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed, int chips) {
   config.validate();
   NTSERV_EXPECTS(chips > 0, "fault injector needs at least one chip");
-  schedule_ = config.events;
-  for (auto& e : schedule_) {
-    NTSERV_EXPECTS(e.chip < chips, "scripted fault event targets a chip outside the fleet");
+  for (std::size_t d = 0; d < config.domains.size(); ++d) {
+    for (const int chip : config.domains[d].members) {
+      NTSERV_EXPECTS(chip < chips,
+                     domain_label(config.domains[d], d) + " names chip " +
+                         std::to_string(chip) + " outside the " +
+                         std::to_string(chips) + "-chip fleet");
+    }
+  }
+  for (const auto& e : config.events) {
+    if (domain_level(e.kind)) {
+      expand_domain_event(schedule_, e, config.domains[static_cast<std::size_t>(e.domain)]);
+    } else {
+      NTSERV_EXPECTS(e.chip < chips,
+                     "scripted " + std::string{to_string(e.kind)} + " at t=" +
+                         std::to_string(e.at_s) + " targets chip " +
+                         std::to_string(e.chip) + " outside the " +
+                         std::to_string(chips) + "-chip fleet");
+      schedule_.push_back(e);
+    }
   }
   if (config.mtbf.enabled) {
     const double horizon = config.mtbf.horizon.value();
     for (int c = 0; c < chips; ++c) {
-      sample_renewal(schedule_, c, seed, 0xFA17ull, config.mtbf.mttf.value(),
-                     config.mtbf.mttr.value(), horizon, FaultKind::kCrash,
-                     FaultKind::kRecover, 1.0, 0);
-      sample_renewal(schedule_, c, seed, 0xD366ull, config.mtbf.degrade_mttf.value(),
-                     config.mtbf.degrade_mttr.value(), horizon, FaultKind::kDegrade,
-                     FaultKind::kRestore, config.mtbf.degrade_freq_cap,
-                     config.mtbf.degrade_core_cap);
+      emit_renewal(schedule_,
+                   sample_intervals(
+                       derive_seed(seed, 0xFA17ull + static_cast<std::uint64_t>(c)),
+                       config.mtbf.mttf.value(), config.mtbf.mttr.value(), horizon),
+                   c, /*domain=*/-1, FaultKind::kCrash, FaultKind::kRecover, 1.0, 0);
+      emit_renewal(schedule_,
+                   sample_intervals(
+                       derive_seed(seed, 0xD366ull + static_cast<std::uint64_t>(c)),
+                       config.mtbf.degrade_mttf.value(), config.mtbf.degrade_mttr.value(),
+                       horizon),
+                   c, /*domain=*/-1, FaultKind::kDegrade, FaultKind::kRestore,
+                   config.mtbf.degrade_freq_cap, config.mtbf.degrade_core_cap);
     }
   }
-  // Stable total order: time, then chip, then kind — the fleet loop
-  // delivers equal-time events in this order, deterministically.
+  if (config.domain_mtbf.enabled) {
+    // One stream per *domain* — every member shares the sampled times,
+    // which is exactly what "correlated" means here.
+    const double horizon = config.domain_mtbf.horizon.value();
+    for (std::size_t d = 0; d < config.domains.size(); ++d) {
+      const auto du = static_cast<std::uint64_t>(d);
+      const auto outages =
+          sample_intervals(derive_seed(seed, 0xD0A1ull + du),
+                           config.domain_mtbf.mttf.value(),
+                           config.domain_mtbf.mttr.value(), horizon);
+      const auto thermals =
+          sample_intervals(derive_seed(seed, 0xC001ull + du),
+                           config.domain_mtbf.degrade_mttf.value(),
+                           config.domain_mtbf.degrade_mttr.value(), horizon);
+      for (const int chip : config.domains[d].members) {
+        emit_renewal(schedule_, outages, chip, static_cast<int>(d),
+                     FaultKind::kCrash, FaultKind::kRecover, 1.0, 0);
+        emit_renewal(schedule_, thermals, chip, static_cast<int>(d),
+                     FaultKind::kDegrade, FaultKind::kRestore,
+                     config.domain_mtbf.degrade_freq_cap,
+                     config.domain_mtbf.degrade_core_cap);
+      }
+    }
+  }
+  // Stable total order: time, then chip, then kind, then domain — the
+  // fleet loop delivers equal-time events in this order, deterministically.
   std::sort(schedule_.begin(), schedule_.end(), [](const FaultEvent& a, const FaultEvent& b) {
     if (a.at_s != b.at_s) return a.at_s < b.at_s;
     if (a.chip != b.chip) return a.chip < b.chip;
-    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.domain < b.domain;
   });
 }
 

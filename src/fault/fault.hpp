@@ -13,6 +13,14 @@
 // NTSERV_THREADS and any sweep ordering, exactly like the arrival
 // processes.
 //
+// Failures also *correlate*: a scale-out NTC fleet multiplies failure
+// domains (racks, PDUs, cooling loops), and losing one takes every chip
+// in it down at once. `FaultDomain` groups chips into such domains; the
+// domain-level kinds (`kDomainOutage`, `kThermalEmergency`) and the
+// per-domain correlated renewal process expand into per-chip primitive
+// events at schedule-resolution time, keyed by (seed, domain index), so
+// correlated runs keep the same bit-identical determinism.
+//
 // The injector only *schedules*; the fleet interprets the events
 // (dc/fleet.hpp): crash/recover toggles a chip's availability (and, with
 // failover enabled, drains its queue and re-dispatches in-flight
@@ -21,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -32,6 +41,14 @@ enum class FaultKind {
   kRecover,  ///< a crashed chip returns to service (cold queue)
   kDegrade,  ///< limping chip: frequency/core caps + governor guardband
   kRestore,  ///< degradation caps lifted (guardband relaxes on its own)
+  /// Whole failure domain fail-stops at once (PDU trip, rack power
+  /// loss). Expands at schedule-resolution time into one kCrash per
+  /// member chip (plus paired kRecover after `duration_s`).
+  kDomainOutage,
+  /// Whole domain limps at once (cooling failure): expands into one
+  /// kDegrade per member chip with the event's freq/core caps (plus
+  /// paired kRestore after `duration_s`).
+  kThermalEmergency,
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
@@ -41,18 +58,38 @@ struct FaultEvent {
   double at_s = 0.0;
   int chip = 0;
   FaultKind kind = FaultKind::kCrash;
-  /// kDegrade: chip frequency cap as a fraction of its nominal clock
-  /// (1.0 = no frequency cap — a pure "detected error" event that only
-  /// engages the governor's guardband).
+  /// kDegrade/kThermalEmergency: chip frequency cap as a fraction of its
+  /// nominal clock (1.0 = no frequency cap — a pure "detected error"
+  /// event that only engages the governor's guardband).
   double freq_cap = 1.0;
-  /// kDegrade: usable core slots on the chip (<= 0 = no core cap).
+  /// kDegrade/kThermalEmergency: usable core slots (<= 0 = no core cap).
   int core_cap = 0;
+  /// Domain-level kinds target `domain` (an index into
+  /// FaultConfig::domains) instead of `chip`. After expansion every
+  /// primitive event born from a domain keeps the index here, so the
+  /// fleet can tell a rack-scale loss from an independent chip fault
+  /// (-1 = not domain-correlated).
+  int domain = -1;
+  /// Domain-level kinds: dwell before the paired recover/restore
+  /// (<= 0 = the domain never comes back inside the run).
+  double duration_s = 0.0;
+};
+
+/// A correlated failure domain: the chips sharing one rack/PDU/cooling
+/// loop. Domains must be disjoint and non-empty (validated).
+struct FaultDomain {
+  std::string name;          ///< label for reports ("rack0"); optional
+  std::vector<int> members;  ///< chip indices that fail together
 };
 
 /// Stochastic fail/recover model: each chip alternates exponential
 /// up-times (mean `mttf`) and down-times (mean `mttr`), with an optional
 /// independent degrade process. Events are pre-sampled out to `horizon`
-/// at construction from per-chip derive_seed streams.
+/// at construction from per-chip derive_seed streams. The same shape
+/// doubles as the *per-domain* correlated model (FaultConfig::
+/// domain_mtbf): there the crash process is a whole-domain outage and
+/// the degrade process a whole-domain thermal emergency, one shared
+/// stream per domain.
 struct MtbfConfig {
   bool enabled = false;
   Second mttf{0.0};
@@ -74,14 +111,26 @@ struct FaultConfig {
   std::vector<FaultEvent> events;
   /// Stochastic schedule merged with the scripted events.
   MtbfConfig mtbf;
+  /// Correlated failure domains. Required by the domain-level event
+  /// kinds and by domain_mtbf; also consulted by the fleet for
+  /// cross-domain hedge placement.
+  std::vector<FaultDomain> domains;
+  /// Correlated renewal process sampled once *per domain* (derive_seed
+  /// streams keyed by domain index): crash fields schedule whole-domain
+  /// outages, degrade fields whole-domain thermal emergencies.
+  MtbfConfig domain_mtbf;
 
-  [[nodiscard]] bool any() const { return !events.empty() || mtbf.enabled; }
+  [[nodiscard]] bool any() const {
+    return !events.empty() || mtbf.enabled || domain_mtbf.enabled;
+  }
   void validate() const;
 };
 
 /// The merged, time-sorted fault schedule of one fleet run. Construction
-/// resolves all randomness (per-chip derive_seed streams), so iteration
-/// is pure table walking and the schedule is reproducible bit-for-bit.
+/// resolves all randomness (per-chip and per-domain derive_seed streams)
+/// and expands domain-level events into per-chip primitives, so
+/// iteration is pure table walking, the schedule contains only the four
+/// primitive kinds, and everything is reproducible bit-for-bit.
 class FaultInjector {
  public:
   FaultInjector(const FaultConfig& config, std::uint64_t seed, int chips);

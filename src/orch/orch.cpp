@@ -25,14 +25,39 @@ void AutoscalerConfig::validate() const {
                  "scale-down utilization must be in (0, scale_up_utilization)");
   NTSERV_EXPECTS(hysteresis_epochs >= 1, "hysteresis needs at least one epoch");
   NTSERV_EXPECTS(wake_latency.value() >= 0.0, "wake latency must be non-negative");
+  NTSERV_EXPECTS(warm_sleep_window.value() >= 0.0,
+                 "warm sleep window must be non-negative");
+  NTSERV_EXPECTS(warm_wake_fraction > 0.0 && warm_wake_fraction <= 1.0,
+                 "warm wake fraction must be in (0,1]");
+}
+
+Second AutoscalerConfig::wake_latency_for(double parked_span_s) const {
+  if (warm_sleep_window.value() > 0.0 && parked_span_s <= warm_sleep_window.value()) {
+    return Second{wake_latency.value() * warm_wake_fraction};
+  }
+  return wake_latency;
 }
 
 Autoscaler::Autoscaler(AutoscalerConfig config) : config_(config) {
   config_.validate();
 }
 
-std::vector<ScaleDecision> Autoscaler::decide(const std::vector<ChipStatus>& chips) {
+std::vector<ScaleDecision> Autoscaler::decide(const std::vector<ChipStatus>& chips,
+                                              bool emergency) {
   std::vector<ScaleDecision> out;
+
+  if (emergency && config_.emergency_wake) {
+    // Domain outage this epoch: the survivors inherit the dead domain's
+    // load *now*. Skip the one-change-per-barrier gradualism — wake every
+    // parked chip that is not itself dead and reclaim every drain.
+    low_epochs_ = 0;
+    for (const ChipStatus& c : chips) {
+      if (c.down) continue;  // waking a dead power domain buys nothing
+      if (c.parked) out.push_back({ScaleAction::kUnpark, c.chip});
+      if (c.draining) out.push_back({ScaleAction::kCancelDrain, c.chip});
+    }
+    return out;
+  }
 
   int serving = 0;
   double util_sum = 0.0;
@@ -97,6 +122,14 @@ void PowerCapConfig::validate() const {
   NTSERV_EXPECTS(!enabled || fleet_cap.value() > 0.0,
                  "an enabled power cap needs a positive fleet_cap");
   NTSERV_EXPECTS(min_share >= 0.0 && min_share <= 1.0, "min_share must be in [0,1]");
+  for (const double w : group_weights) {
+    NTSERV_EXPECTS(w > 0.0, "cap group priority weights must be positive");
+  }
+}
+
+double PowerCapConfig::group_weight(int group) const {
+  if (group < 0 || group >= static_cast<int>(group_weights.size())) return 1.0;
+  return group_weights[static_cast<std::size_t>(group)];
 }
 
 PowerCapper::PowerCapper(PowerCapConfig config) : config_(config) {
@@ -108,26 +141,36 @@ std::vector<Watt> PowerCapper::split(const std::vector<ChipStatus>& chips,
   std::vector<Watt> budgets(chips.size(), Watt{0.0});
   const double available = std::max(0.0, config_.fleet_cap.value() - reserved.value());
 
-  double weight_sum = 0.0;
+  double weight_sum = 0.0, floor_sum = 0.0;
   int serving = 0;
   for (const ChipStatus& c : chips) {
     if (c.down || c.parked) continue;
     ++serving;
-    weight_sum += 1.0 + static_cast<double>(c.outstanding);
+    floor_sum += c.floor_power.value();
+    weight_sum += config_.group_weight(c.group) * (1.0 + static_cast<double>(c.outstanding));
   }
   if (serving == 0 || available <= 0.0) return budgets;
 
-  // Guaranteed floor per serving chip, then the remainder by queue
-  // depth. floor*serving <= 1 by the clamp, so the budgets sum exactly
-  // to `available` — the split can never over-commit the cap.
+  // A serving chip cannot clock below the bottom of its DVFS grid, so a
+  // budget under that floor is a cap violation printed in advance: grant
+  // every serving chip its floor power off the top, then split only the
+  // headroom — guaranteed min_share first, the rest by priority-weighted
+  // queue depth. floor_share*serving <= 1 by the clamp, so the budgets
+  // sum to exactly floors + headroom <= `available` — the split can
+  // never over-commit the cap. When the floors alone exceed the cap
+  // (an infeasible cap), the floors are granted anyway: the chips would
+  // run at the bottom of the grid regardless, and the fleet reports the
+  // realized excursion.
+  const double headroom = std::max(0.0, available - floor_sum);
   const double floor_share =
       std::min(config_.min_share, 1.0 / static_cast<double>(serving));
   const double proportional = 1.0 - floor_share * static_cast<double>(serving);
   for (std::size_t i = 0; i < chips.size(); ++i) {
     const ChipStatus& c = chips[i];
     if (c.down || c.parked) continue;
-    const double w = 1.0 + static_cast<double>(c.outstanding);
-    budgets[i] = Watt{available * (floor_share + proportional * w / weight_sum)};
+    const double w = config_.group_weight(c.group) * (1.0 + static_cast<double>(c.outstanding));
+    budgets[i] = Watt{c.floor_power.value() +
+                      headroom * (floor_share + proportional * w / weight_sum)};
   }
   return budgets;
 }

@@ -57,6 +57,10 @@ struct ChipStatus {
   bool draining = false;    ///< excluded from dispatch, finishing its work
   int outstanding = 0;      ///< queued + in-service requests
   double utilization = 0.0; ///< last closed epoch's busy-core fraction
+  /// Full-duty power at the bottom of the chip's DVFS grid: the least a
+  /// serving chip can draw, and hence the least budget worth granting it
+  /// (PowerCapper::split reserves these floors before the weighted split).
+  Watt floor_power{0.0};
 };
 
 // ---------------------------------------------------------------------------
@@ -79,8 +83,21 @@ struct AutoscalerConfig {
   /// Wake latency of a parked chip (deep-sleep exit + re-init), paid as
   /// a service stall charged at full active power.
   Second wake_latency{200e-6};
+  /// Warm/cold sleep ladder: a chip parked for less than this is still
+  /// *warm* (caches powered, PLL locked) and wakes at warm_wake_fraction
+  /// of the full wake_latency. 0 disables the ladder (every wake cold).
+  Second warm_sleep_window{0.0};
+  double warm_wake_fraction = 0.25;
+  /// Emergency response: a correlated domain outage wakes every parked
+  /// (non-down) chip and cancels every drain at the same barrier,
+  /// bypassing the hysteresis gate — survivors need the capacity *now*.
+  bool emergency_wake = true;
 
   void validate() const;
+
+  /// Wake latency for a chip that has been parked `parked_span_s`
+  /// seconds: the warm fraction inside the warm window, full otherwise.
+  [[nodiscard]] Second wake_latency_for(double parked_span_s) const;
 };
 
 enum class ScaleAction {
@@ -100,12 +117,15 @@ struct ScaleDecision {
 /// Deterministic scale state machine, one step per epoch barrier. At most
 /// one capacity change (unpark / cancel-drain / drain) per barrier, plus
 /// parking any chip that finished draining — gradual moves keep the
-/// feedback loop stable against its own wake/drain transients.
+/// feedback loop stable against its own wake/drain transients. An
+/// `emergency` barrier (domain outage this epoch) suspends the gradualism:
+/// every parked non-down chip wakes and every drain cancels at once.
 class Autoscaler {
  public:
   explicit Autoscaler(AutoscalerConfig config);
 
-  [[nodiscard]] std::vector<ScaleDecision> decide(const std::vector<ChipStatus>& chips);
+  [[nodiscard]] std::vector<ScaleDecision> decide(const std::vector<ChipStatus>& chips,
+                                                  bool emergency = false);
 
   [[nodiscard]] const AutoscalerConfig& config() const { return config_; }
   [[nodiscard]] int low_epochs() const { return low_epochs_; }
@@ -128,8 +148,16 @@ struct PowerCapConfig {
   /// guaranteed (clamped to 1/serving_chips): a chip whose queue happens
   /// to be empty at the barrier must still afford a useful frequency.
   double min_share = 0.10;
+  /// Optional per-group priority weight (indexed by ChipStatus::group;
+  /// empty = every group at 1.0): scales the queue-depth weight, so a
+  /// latency-critical group keeps budget when the cap binds during an
+  /// emergency re-split over the survivors.
+  std::vector<double> group_weights;
 
   void validate() const;
+
+  /// The priority weight of `group` (1.0 beyond the configured table).
+  [[nodiscard]] double group_weight(int group) const;
 };
 
 /// Splits the fleet cap into per-chip Watt budgets at each barrier.
@@ -141,9 +169,11 @@ class PowerCapper {
 
   /// Per-chip budgets (index-aligned with `chips`). `reserved` is the
   /// power already committed below the cap (the parked chips' sleep
-  /// floor); the remainder is split over serving (non-parked, non-down)
-  /// chips proportionally to 1 + outstanding, with the min_share floor.
-  /// Parked and down chips get a zero budget.
+  /// floor). Each serving (non-parked, non-down) chip is granted its
+  /// floor_power off the top — a budget below the bottom of the DVFS
+  /// grid is just a violation printed in advance — and the headroom is
+  /// split proportionally to group_weight x (1 + outstanding), with the
+  /// min_share floor. Parked and down chips get a zero budget.
   [[nodiscard]] std::vector<Watt> split(const std::vector<ChipStatus>& chips,
                                         Watt reserved) const;
 

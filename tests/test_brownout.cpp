@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ctrl/brownout.hpp"
+
+namespace ntserv::ctrl {
+namespace {
+
+BrownoutConfig ladder_config() {
+  BrownoutConfig cfg;
+  cfg.enabled = true;
+  cfg.enter_pressure = 2.0;
+  cfg.exit_pressure = 0.75;
+  cfg.recover_epochs = 3;
+  return cfg;
+}
+
+TEST(Brownout, EscalatesOneRungPerOverloadedBarrier) {
+  BrownoutController c{ladder_config()};
+  EXPECT_EQ(c.stage(), BrownoutStage::kNormal);
+  EXPECT_EQ(c.observe(2.0), BrownoutStage::kShedBatch);
+  EXPECT_EQ(c.observe(5.0), BrownoutStage::kRelaxBatchQos);
+  EXPECT_EQ(c.observe(1e9), BrownoutStage::kCriticalOnly);
+  // Already at the top: further overload holds, never overflows.
+  EXPECT_EQ(c.observe(1e9), BrownoutStage::kCriticalOnly);
+}
+
+TEST(Brownout, HysteresisBandHoldsTheStage) {
+  BrownoutController c{ladder_config()};
+  c.observe(3.0);
+  ASSERT_EQ(c.stage(), BrownoutStage::kShedBatch);
+  // Pressure between exit and enter: neither escalate nor recover, and
+  // the band does not count toward recovery either.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c.observe(1.0), BrownoutStage::kShedBatch);
+  EXPECT_EQ(c.calm_epochs(), 0);
+}
+
+TEST(Brownout, RecoversOneRungAfterConsecutiveCalmBarriers) {
+  BrownoutController c{ladder_config()};
+  c.observe(3.0);
+  c.observe(3.0);
+  ASSERT_EQ(c.stage(), BrownoutStage::kRelaxBatchQos);
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kRelaxBatchQos);
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kRelaxBatchQos);
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kShedBatch);  // 3rd calm barrier
+  // The calm count restarts per rung: three more to reach normal...
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kShedBatch);
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kShedBatch);
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kNormal);
+}
+
+TEST(Brownout, OverloadResetsTheCalmCount) {
+  BrownoutController c{ladder_config()};
+  c.observe(3.0);
+  c.observe(0.1);
+  c.observe(0.1);
+  EXPECT_EQ(c.observe(4.0), BrownoutStage::kRelaxBatchQos);  // calm streak voided
+  c.observe(0.1);
+  c.observe(0.1);
+  EXPECT_EQ(c.stage(), BrownoutStage::kRelaxBatchQos);  // two calm: not enough
+  EXPECT_EQ(c.observe(0.1), BrownoutStage::kShedBatch);
+}
+
+TEST(Brownout, MaxStageClampsTheLadder) {
+  BrownoutConfig cfg = ladder_config();
+  cfg.max_stage = BrownoutStage::kShedBatch;  // the dse shed-only arm
+  BrownoutController c{cfg};
+  for (int i = 0; i < 5; ++i) c.observe(100.0);
+  EXPECT_EQ(c.stage(), BrownoutStage::kShedBatch);
+}
+
+TEST(Brownout, ValidationRejectsBadConfigs) {
+  {
+    BrownoutConfig cfg = ladder_config();
+    cfg.exit_pressure = cfg.enter_pressure;  // no hysteresis band
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BrownoutConfig cfg = ladder_config();
+    cfg.recover_epochs = 0;
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BrownoutConfig cfg = ladder_config();
+    cfg.batch_timeout_relax = 0.5;  // would tighten batch timeouts
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BrownoutConfig cfg = ladder_config();
+    cfg.max_stage = BrownoutStage::kNormal;  // a ladder that cannot act
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BrownoutConfig cfg;  // disabled: nothing validated
+    cfg.exit_pressure = 100.0;
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+BreakerConfig breaker_config() {
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.trip_rate = 0.5;
+  cfg.min_samples = 4;
+  cfg.open_epochs = 2;
+  cfg.probe_successes = 2;
+  return cfg;
+}
+
+void feed(CircuitBreaker& b, int dispatches, int failures) {
+  for (int i = 0; i < dispatches; ++i) b.record_dispatch();
+  for (int i = 0; i < failures; ++i) b.record_failure();
+}
+
+TEST(Breaker, ThinEvidenceNeverTrips) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 3, 3);  // 100% failure but below min_samples
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow_dispatch());
+  EXPECT_EQ(b.trips(), 0);
+}
+
+TEST(Breaker, TripsAtTheBarrierOnTheWindowRate) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 4, 2);  // exactly the 50% trip rate at min_samples
+  EXPECT_EQ(b.state(), BreakerState::kClosed);  // never mid-epoch
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow_dispatch());
+  EXPECT_EQ(b.trips(), 1);
+}
+
+TEST(Breaker, WindowResetsEachEpoch) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 4, 1);  // 25% < trip rate
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  feed(b, 4, 1);  // failures do not accumulate across barriers
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, OpenDwellsThenProbesHalfOpen) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 4, 4);
+  b.close_epoch();
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  b.close_epoch();  // dwell epoch 1 of 2
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  b.close_epoch();  // dwell complete
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.allow_dispatch());
+}
+
+TEST(Breaker, HalfOpenClosesOnSustainedSuccess) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 4, 4);
+  b.close_epoch();
+  b.close_epoch();
+  b.close_epoch();
+  ASSERT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.record_success();  // probe_successes reached
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.trips(), 1);
+}
+
+TEST(Breaker, HalfOpenReopensOnAnyFailure) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 4, 4);
+  b.close_epoch();
+  b.close_epoch();
+  b.close_epoch();
+  ASSERT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.record_success();
+  b.record_failure();  // one failure voids the probe
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 2);
+  // The reopened dwell starts over.
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+}
+
+TEST(Breaker, ClosedStateIgnoresSuccessBookkeeping) {
+  CircuitBreaker b{breaker_config()};
+  feed(b, 8, 0);
+  for (int i = 0; i < 8; ++i) b.record_success();
+  b.close_epoch();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.trips(), 0);
+}
+
+TEST(Breaker, ValidationRejectsBadConfigs) {
+  {
+    BreakerConfig cfg = breaker_config();
+    cfg.trip_rate = 1.5;
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BreakerConfig cfg = breaker_config();
+    cfg.min_samples = 0;
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BreakerConfig cfg = breaker_config();
+    cfg.open_epochs = 0;
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+  {
+    BreakerConfig cfg = breaker_config();
+    cfg.probe_successes = 0;
+    EXPECT_THROW(cfg.validate(), ModelError);
+  }
+}
+
+}  // namespace
+}  // namespace ntserv::ctrl

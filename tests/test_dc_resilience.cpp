@@ -255,6 +255,31 @@ TEST(ResilienceProperty, AccountingTilesAcrossRandomizedScenarios) {
         break;
       default: break;
     }
+    // Half the fleets carve their chips into two correlated failure
+    // domains and take a rack-scale hit: a scripted domain outage or the
+    // per-domain renewal stream, on top of whatever per-chip schedule the
+    // switch above picked.
+    if (cfg.servers >= 2 && rng() % 2 == 0) {
+      fault::FaultDomain head, tail;
+      head.name = "rack0";
+      head.members = {0};
+      tail.name = "rack1";
+      for (int c = 1; c < cfg.servers; ++c) tail.members.push_back(c);
+      cfg.faults.domains = {head, tail};
+      if (rng() % 2 == 0) {
+        fault::FaultEvent outage;
+        outage.at_s = 0.3e-3 + 1e-4 * static_cast<double>(rng() % 10);
+        outage.kind = fault::FaultKind::kDomainOutage;
+        outage.domain = static_cast<int>(rng() % 2);
+        outage.duration_s = rng() % 2 == 0 ? 0.6e-3 : 0.0;
+        cfg.faults.events.push_back(outage);
+      } else {
+        cfg.faults.domain_mtbf.enabled = true;
+        cfg.faults.domain_mtbf.mttf = Second{3.0e-3};
+        cfg.faults.domain_mtbf.mttr = Second{0.5e-3};
+        cfg.faults.domain_mtbf.horizon = Second{20e-3};
+      }
+    }
     // Resilience posture: none / failover / failover+timeout+hedging.
     switch (rng() % 3) {
       case 1: cfg.resilience.failover = true; break;
@@ -264,6 +289,22 @@ TEST(ResilienceProperty, AccountingTilesAcrossRandomizedScenarios) {
         cfg.resilience.hedging = true;
         cfg.resilience.hedge_min_delay = Second{20e-6};
         cfg.resilience.hedge_warmup = 1'000'000;
+        break;
+      default: break;
+    }
+    // Brownout posture: none / full ladder / ladder + circuit breakers.
+    // The ladder sheds by priority and the breakers fence chips off, so
+    // both must keep the ledger tiling through every fault combination.
+    // Both act at the epoch barrier, so they need a governed fleet.
+    switch (rng() % 3) {
+      case 1:
+        cfg.governor.kind = ctrl::GovernorKind::kFixedMax;
+        cfg.brownout.enabled = true;
+        break;
+      case 2:
+        cfg.governor.kind = ctrl::GovernorKind::kFixedMax;
+        cfg.brownout.enabled = true;
+        cfg.breaker.enabled = true;
         break;
       default: break;
     }

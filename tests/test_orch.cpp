@@ -199,6 +199,49 @@ TEST(Autoscaler, AllParkedFleetForcesAWake) {
   EXPECT_EQ(d[0].chip, 0);
 }
 
+TEST(Autoscaler, EmergencyWakesEveryParkedChipAndCancelsDrains) {
+  Autoscaler a{scaler_config()};
+  std::vector<ChipStatus> chips = {chip(0, 0.4, 1), chip(1, 0.0), chip(2, 0.0),
+                                   chip(3, 0.1, 1), chip(4, 0.0)};
+  chips[1].parked = true;
+  chips[2].parked = true;
+  chips[3].draining = true;
+  chips[4].parked = true;
+  chips[4].down = true;  // faulted spare stays down even in an emergency
+  const auto d = a.decide(chips, /*emergency=*/true);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].action, ScaleAction::kUnpark);
+  EXPECT_EQ(d[0].chip, 1);
+  EXPECT_EQ(d[1].action, ScaleAction::kUnpark);
+  EXPECT_EQ(d[1].chip, 2);
+  EXPECT_EQ(d[2].action, ScaleAction::kCancelDrain);
+  EXPECT_EQ(d[2].chip, 3);
+}
+
+TEST(Autoscaler, EmergencyFlagOffKeepsTheOneWakePerBarrierLadder) {
+  Autoscaler a{scaler_config()};
+  std::vector<ChipStatus> chips = {chip(0, 0.9, 4), chip(1, 0.0), chip(2, 0.0)};
+  chips[1].parked = true;
+  chips[2].parked = true;
+  const auto d = a.decide(chips, /*emergency=*/false);
+  ASSERT_EQ(d.size(), 1u);  // gradualism: one unpark per barrier
+  EXPECT_EQ(d[0].action, ScaleAction::kUnpark);
+}
+
+TEST(Autoscaler, WarmSleepWindowDiscountsTheWakeLatency) {
+  AutoscalerConfig cfg = scaler_config();  // wake_latency = 50us
+  cfg.warm_sleep_window = Second{1e-3};
+  cfg.warm_wake_fraction = 0.25;
+  // Inside the window the chip is still warm: a quarter of the latency.
+  EXPECT_DOUBLE_EQ(cfg.wake_latency_for(0.5e-3).value(), 0.25 * 50e-6);
+  EXPECT_DOUBLE_EQ(cfg.wake_latency_for(1e-3).value(), 0.25 * 50e-6);
+  // Past the window the sleep went cold: the full latency.
+  EXPECT_DOUBLE_EQ(cfg.wake_latency_for(2e-3).value(), 50e-6);
+  // A zero window disables the warm tier entirely.
+  cfg.warm_sleep_window = Second{0.0};
+  EXPECT_DOUBLE_EQ(cfg.wake_latency_for(0.0).value(), 50e-6);
+}
+
 // ---------------------------------------------------------------------------
 // Power capper
 // ---------------------------------------------------------------------------
@@ -247,6 +290,61 @@ TEST(PowerCapper, NothingAvailableMeansZeroBudgets) {
   std::vector<ChipStatus> parked = {chip(0, 0.0)};
   parked[0].parked = true;
   for (const Watt w : capper.split(parked, Watt{0.0})) EXPECT_DOUBLE_EQ(w.value(), 0.0);
+}
+
+TEST(PowerCapper, GroupWeightsBiasTheSplit) {
+  PowerCapConfig cfg;
+  cfg.enabled = true;
+  cfg.fleet_cap = Watt{100.0};
+  cfg.min_share = 0.0;
+  cfg.group_weights = {1.0, 3.0};
+  PowerCapper capper{cfg};
+  std::vector<ChipStatus> chips = {chip(0, 0.5, 0), chip(1, 0.5, 0)};
+  chips[0].group = 0;
+  chips[1].group = 1;
+  const auto b = capper.split(chips, Watt{0.0});
+  // Equal queues: the weighted chip draws three times the budget.
+  EXPECT_NEAR(b[0].value(), 25.0, 1e-9);
+  EXPECT_NEAR(b[1].value(), 75.0, 1e-9);
+  // A group outside the weight table falls back to weight 1.0.
+  EXPECT_DOUBLE_EQ(cfg.group_weight(-1), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.group_weight(2), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.group_weight(1), 3.0);
+}
+
+TEST(PowerCapper, FloorPowerIsGrantedBeforeTheWeightedSplit) {
+  PowerCapConfig cfg;
+  cfg.enabled = true;
+  cfg.fleet_cap = Watt{100.0};
+  cfg.min_share = 0.0;
+  PowerCapper capper{cfg};
+  std::vector<ChipStatus> chips = {chip(0, 0.5, 0), chip(1, 0.5, 3)};
+  chips[0].floor_power = Watt{30.0};  // e.g. an NTC chip at its grid bottom
+  chips[1].floor_power = Watt{10.0};
+  const auto b = capper.split(chips, Watt{0.0});
+  // Every serving chip gets at least its floor; the 60 W of headroom is
+  // split 1:4 by (1 + outstanding) on top.
+  EXPECT_NEAR(b[0].value(), 30.0 + 60.0 * 1.0 / 5.0, 1e-9);
+  EXPECT_NEAR(b[1].value(), 10.0 + 60.0 * 4.0 / 5.0, 1e-9);
+  EXPECT_GE(b[0].value(), chips[0].floor_power.value());
+  EXPECT_GE(b[1].value(), chips[1].floor_power.value());
+  EXPECT_NEAR(b[0].value() + b[1].value(), 100.0, 1e-9);
+}
+
+TEST(PowerCapper, InfeasibleFloorsStillGrantTheFloors) {
+  // When the floors alone exceed the budget there is no feasible split:
+  // grant the floors anyway (the chips cannot clock lower) and let the
+  // fleet report the realized violation.
+  PowerCapConfig cfg;
+  cfg.enabled = true;
+  cfg.fleet_cap = Watt{40.0};
+  PowerCapper capper{cfg};
+  std::vector<ChipStatus> chips = {chip(0, 0.5, 0), chip(1, 0.5, 0)};
+  chips[0].floor_power = Watt{30.0};
+  chips[1].floor_power = Watt{30.0};
+  const auto b = capper.split(chips, Watt{0.0});
+  EXPECT_NEAR(b[0].value(), 30.0, 1e-9);
+  EXPECT_NEAR(b[1].value(), 30.0, 1e-9);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,7 +499,9 @@ bool identical(const dc::FleetResult& a, const dc::FleetResult& b) {
          a.cap_violation_epochs == b.cap_violation_epochs &&
          a.peak_epoch_power.value() == b.peak_epoch_power.value() &&
          a.router_epochs.size() == b.router_epochs.size() &&
-         a.group_dispatches == b.group_dispatches;
+         a.group_dispatches == b.group_dispatches &&
+         a.brownout_shed == b.brownout_shed && a.brownout_epochs == b.brownout_epochs &&
+         a.breaker_trips == b.breaker_trips && a.emergency_wakes == b.emergency_wakes;
 }
 
 TEST(OrchFleet, OrchestratedRunsAreThreadCountInvariant) {
@@ -410,7 +510,8 @@ TEST(OrchFleet, OrchestratedRunsAreThreadCountInvariant) {
   const std::vector<dc::Scenario> scenarios = {
       dc::Scenario::by_name("autoscale-diurnal-web"),
       dc::Scenario::by_name("powercap-web"),
-      dc::Scenario::by_name("multifleet-ntc-conv")};
+      dc::Scenario::by_name("multifleet-ntc-conv"),
+      dc::Scenario::by_name("thermal-emergency-mixed")};
   const auto one = dc::run_scenarios(scenarios, ghz(2.0), 1);
   const auto four = dc::run_scenarios(scenarios, ghz(2.0), 4);
   ASSERT_EQ(one.size(), four.size());
