@@ -5,6 +5,8 @@
 // plots, as an ASCII table plus a CSV block for replotting.
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -60,6 +62,86 @@ inline const char* truncated_mark(bool truncated) {
 }
 inline const char* truncated_mark(const dc::FleetResult& result) {
   return truncated_mark(result.truncated);
+}
+
+/// Telemetry flags shared by every fleet-driving bench: `--trace <path>`
+/// writes a Chrome/Perfetto trace-event JSON, `--metrics <path>` a
+/// per-epoch metrics CSV (see docs/observability.md), `--scenario <name>`
+/// overrides the driver's default registry scenario. When either output
+/// flag is given the driver runs that single telemetry pass instead of
+/// its figure sweep.
+struct TelemetryOptions {
+  std::string scenario;
+  std::string trace_path;
+  std::string metrics_path;
+
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+inline TelemetryOptions parse_telemetry(int argc, char** argv,
+                                        const std::string& default_scenario) {
+  TelemetryOptions opts;
+  opts.scenario = default_scenario;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) opts.trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics") == 0) opts.metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--scenario") == 0) opts.scenario = argv[i + 1];
+  }
+  return opts;
+}
+
+/// Run one registry scenario with full telemetry and write the requested
+/// outputs. Deterministic: the trace JSON and metrics CSV are
+/// byte-identical for any NTSERV_THREADS. Returns a process exit code.
+inline int run_telemetry(const TelemetryOptions& opts, Hertz f = ghz(2.0)) {
+  const dc::Scenario scenario = dc::Scenario::by_name(opts.scenario);
+  obs::Telemetry telemetry;
+  telemetry.trace.enable();
+  telemetry.metrics.enable();
+  telemetry.timers.enable();
+  const dc::FleetResult result = dc::run_scenario(scenario, f, &telemetry);
+  std::cout << "telemetry run: " << scenario.name << " @ " << f.value() / 1e9
+            << " GHz\n"
+            << "  offered " << result.offered << ", completed(all) "
+            << result.completed_all << ", shed " << result.shed << ", timed out "
+            << result.timed_out << ", p99 " << result.p99.value() * 1e6 << " us"
+            << truncated_mark(result) << "\n"
+            << "  trace events " << telemetry.trace.events().size() << "\n";
+  if (!opts.trace_path.empty()) {
+    std::ofstream os(opts.trace_path);
+    if (!os) {
+      std::cerr << "cannot open trace output: " << opts.trace_path << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(os, telemetry.trace, dc::trace_meta(scenario),
+                            &telemetry.metrics);
+    std::cout << "  wrote trace JSON: " << opts.trace_path << "\n";
+  }
+  if (!opts.metrics_path.empty()) {
+    std::ofstream os(opts.metrics_path);
+    if (!os) {
+      std::cerr << "cannot open metrics output: " << opts.metrics_path << "\n";
+      return 1;
+    }
+    // A .jsonl suffix switches the time-series format; anything else
+    // writes CSV.
+    const bool jsonl = opts.metrics_path.size() >= 6 &&
+                       opts.metrics_path.compare(opts.metrics_path.size() - 6, 6,
+                                                 ".jsonl") == 0;
+    if (jsonl) {
+      telemetry.metrics.write_jsonl(os);
+    } else {
+      telemetry.metrics.write_csv(os);
+    }
+    std::cout << "  wrote metrics " << (jsonl ? "JSONL" : "CSV") << ": "
+              << opts.metrics_path << " (" << telemetry.metrics.rows()
+              << " epochs)\n";
+  }
+  std::cout << "  self-profile (wall clock, not part of the telemetry files):\n";
+  telemetry.timers.report(std::cout);
+  return 0;
 }
 
 }  // namespace ntserv::bench

@@ -39,7 +39,10 @@ dc::Scenario light_scenario(const std::string& workload, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::TelemetryOptions topts =
+      bench::parse_telemetry(argc, argv, "websearch-poisson-light");
+  if (topts.any()) return bench::run_telemetry(topts);
   bench::print_header("Fig. 2 (measured) — p99 from simulated requests vs core frequency",
                       "Pahlevan et al., DATE'16, Figure 2 via request-level serving");
 

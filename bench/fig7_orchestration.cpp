@@ -257,6 +257,9 @@ void print_provisioning() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  const bench::TelemetryOptions topts =
+      bench::parse_telemetry(argc, argv, "autoscale-diurnal-web");
+  if (topts.any()) return bench::run_telemetry(topts);
 
   bench::print_header(
       "Fig. 7 (orchestration) — autoscaling, fleet power capping, and "

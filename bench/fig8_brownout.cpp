@@ -157,6 +157,9 @@ int run_smoke() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  const bench::TelemetryOptions topts =
+      bench::parse_telemetry(argc, argv, "rack-loss-web");
+  if (topts.any()) return bench::run_telemetry(topts);
 
   bench::print_header(
       "Fig. 8 (graceful degradation) — correlated failure domains and "

@@ -3,6 +3,10 @@
 // workload generator and the technology-model solver.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
 #include "ntserv/ntserv.hpp"
 
 using namespace ntserv;
@@ -123,11 +127,27 @@ void BM_ClosedLoopFleet(benchmark::State& state) {
   s.requests = 60;
   s.warmup_requests = 8;
   if (state.range(0) == 0) s.governor.kind = ctrl::GovernorKind::kNone;
+  // Self-profiling rides along (trace and metrics stay disabled): the
+  // epoch-barrier and whole-run wall costs land as counters in the
+  // archived BENCH JSON, so control-plane overhead is tracked PR over PR.
+  obs::Telemetry telemetry;
+  telemetry.timers.enable();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dc::run_scenario(s, ghz(2.0)));
+    benchmark::DoNotOptimize(dc::run_scenario(s, ghz(2.0), &telemetry));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(s.requests));
+  const auto barriers = telemetry.timers.count("epoch-barrier");
+  if (barriers > 0) {
+    state.counters["barrier_us_per_epoch"] =
+        telemetry.timers.total_seconds("epoch-barrier") * 1e6 /
+        static_cast<double>(barriers);
+  }
+  const auto runs = telemetry.timers.count("fleet-run");
+  if (runs > 0) {
+    state.counters["fleet_run_ms"] =
+        telemetry.timers.total_seconds("fleet-run") * 1e3 / static_cast<double>(runs);
+  }
 }
 BENCHMARK(BM_ClosedLoopFleet)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -219,6 +239,63 @@ void BM_ZipfSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSampler);
 
+// The observability zero-cost contract: a disabled TraceSink's emit() is
+// one branch and returns. Arg(0) measures the disabled fast path (and
+// asserts the per-emit bound the fleet relies on); Arg(1) the enabled
+// record path for comparison.
+void BM_TraceOverhead(benchmark::State& state) {
+  obs::TraceSink sink;
+  if (state.range(0) == 1) {
+    sink.enable();
+    sink.begin_run(/*chips=*/4);
+  }
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    sink.emit(obs::EventKind::kDispatch, /*chip=*/2, /*time_s=*/1.0 + 1e-9 * id,
+              /*tenant=*/0, id);
+    ++id;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (state.range(0) == 0) {
+    // Assert the disabled-path bound explicitly: 50 ns/emit is ~2 orders
+    // above the expected one-branch cost, but trips if an allocation or
+    // virtual call ever creeps into the fast path.
+    constexpr int kOps = 1'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      sink.emit(obs::EventKind::kDispatch, 2, 1.0, 0, i);
+    }
+    const double ns_per_emit =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(kOps);
+    state.counters["disabled_ns_per_emit"] = ns_per_emit;
+    if (ns_per_emit > 50.0) {
+      state.SkipWithError("disabled TraceSink emit exceeds the 50 ns/op bound");
+    }
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus the self-profiling hook: with
+// NTSERV_BENCH_PHASE_TIMERS set (run_bench.sh's default), a global
+// obs::PhaseTimers collects the DSE sweep-point wall costs of any
+// dse-driven benchmark and the accumulated phase table prints after the
+// run (stderr, so --benchmark_out JSON stays clean).
+int main(int argc, char** argv) {
+  obs::PhaseTimers timers;
+  const char* flag = std::getenv("NTSERV_BENCH_PHASE_TIMERS");
+  if (flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+    timers.enable();
+    dse::set_phase_timers(&timers);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (timers.enabled()) timers.report(std::cerr);
+  dse::set_phase_timers(nullptr);
+  return 0;
+}

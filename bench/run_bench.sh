@@ -47,13 +47,19 @@ fi
 # prints these labels).
 git_sha="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
 wakeup_mode="${NTSERV_WAKEUP_LIST:-1}"
+# Self-profiling (src/obs phase timers) is on by default: the flag lands
+# in the archive's context, the sweep-point/barrier wall costs surface as
+# per-benchmark counters, and the phase table prints to stderr after the
+# run. Set NTSERV_BENCH_PHASE_TIMERS=0 to switch it off.
+phase_timers="${NTSERV_BENCH_PHASE_TIMERS:-1}"
 
-NTSERV_THREADS=1 "${bin}" \
+NTSERV_THREADS=1 NTSERV_BENCH_PHASE_TIMERS="${phase_timers}" "${bin}" \
   --benchmark_format=json \
   --benchmark_min_time="${NTSERV_BENCH_MIN_TIME:-0.25}" \
   --benchmark_repetitions="${NTSERV_BENCH_REPS:-1}" \
   --benchmark_context=git_sha="${git_sha}" \
   --benchmark_context=wakeup_list="${wakeup_mode}" \
+  --benchmark_context=phase_timers="${phase_timers}" \
   --benchmark_out="${out}" \
   --benchmark_out_format=json
 

@@ -1,6 +1,7 @@
 #include "ctrl/brownout.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ntserv::ctrl {
 
@@ -32,6 +33,7 @@ BrownoutController::BrownoutController(BrownoutConfig config) : config_(config) 
 }
 
 BrownoutStage BrownoutController::observe(double pressure) {
+  const BrownoutStage before = stage_;
   if (pressure >= config_.enter_pressure) {
     // Overloaded: escalate one rung per barrier up to the clamp.
     calm_epochs_ = 0;
@@ -50,6 +52,10 @@ BrownoutStage BrownoutController::observe(double pressure) {
   } else {
     // The hysteresis band: hold the stage, restart the calm count.
     calm_epochs_ = 0;
+  }
+  if (trace_ != nullptr && stage_ != before) {
+    trace_->emit_now(obs::EventKind::kBrownoutStage, /*chip=*/-1, /*tenant=*/-1,
+                     static_cast<std::int64_t>(stage_), pressure);
   }
   return stage_;
 }
@@ -82,6 +88,10 @@ void CircuitBreaker::open() {
   open_dwell_ = 0;
   probe_wins_ = 0;
   ++trips_;
+  if (trace_ != nullptr) {
+    trace_->emit_now(obs::EventKind::kBreakerTrip, chip_, /*tenant=*/-1,
+                     /*id=*/trips_);
+  }
 }
 
 void CircuitBreaker::record_failure() {
@@ -95,6 +105,9 @@ void CircuitBreaker::record_success() {
   if (state_ == BreakerState::kHalfOpen && ++probe_wins_ >= config_.probe_successes) {
     state_ = BreakerState::kClosed;
     probe_wins_ = 0;
+    if (trace_ != nullptr) {
+      trace_->emit_now(obs::EventKind::kBreakerClose, chip_);
+    }
   }
 }
 
@@ -109,6 +122,9 @@ void CircuitBreaker::close_epoch() {
     if (++open_dwell_ >= config_.open_epochs) {
       state_ = BreakerState::kHalfOpen;
       probe_wins_ = 0;
+      if (trace_ != nullptr) {
+        trace_->emit_now(obs::EventKind::kBreakerHalfOpen, chip_);
+      }
     }
   }
   window_dispatches_ = 0;

@@ -28,6 +28,10 @@
 
 #include <cstdint>
 
+namespace ntserv::obs {
+class TraceSink;
+}
+
 namespace ntserv::ctrl {
 
 /// Ladder stages, in escalation order. Every stage keeps the previous
@@ -80,10 +84,15 @@ class BrownoutController {
   [[nodiscard]] const BrownoutConfig& config() const { return config_; }
   [[nodiscard]] int calm_epochs() const { return calm_epochs_; }
 
+  /// Attach a trace sink (fleet-wired; may be null): stage transitions
+  /// emit kBrownoutStage events stamped with the sink's current time.
+  void attach_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   BrownoutConfig config_;
   BrownoutStage stage_ = BrownoutStage::kNormal;
   int calm_epochs_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -138,9 +147,18 @@ class CircuitBreaker {
   /// Resets the window counters either way.
   void close_epoch();
 
+  /// Attach a trace sink (fleet-wired; may be null): state transitions
+  /// emit kBreakerTrip / kBreakerHalfOpen / kBreakerClose for `chip`.
+  void attach_trace(obs::TraceSink* trace, int chip) {
+    trace_ = trace;
+    chip_ = chip;
+  }
+
  private:
   void open();
 
+  obs::TraceSink* trace_ = nullptr;
+  int chip_ = -1;
   BreakerConfig config_;
   BreakerState state_ = BreakerState::kClosed;
   std::uint64_t window_dispatches_ = 0;

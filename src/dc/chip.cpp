@@ -388,7 +388,11 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
 
   // Guardband relaxes exactly once per closed epoch — after this epoch's
   // energy was charged at its margin, before the next epoch begins.
+  const double margin_before = governor_->margin();
   governor_->relax_guardband();
+  if (trace_ != nullptr && margin_before > 0.0 && governor_->margin() == 0.0) {
+    trace_->emit(obs::EventKind::kGuardbandRelease, chip_id_, now_s);
+  }
 
   // A chip mid-swing at the boundary holds: the governor cannot retune a
   // voltage domain that has not settled yet. A crashed or parked chip's
@@ -400,7 +404,13 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
     obs.utilization = rec.utilization;
     obs.completions = epoch_latencies_.size();
     obs.p99 = Second{p99};
+    const bool boosted_before = governor_->boosted();
     const Hertz f_decided = governor_->decide(obs);
+    if (trace_ != nullptr && governor_->boosted() != boosted_before) {
+      trace_->emit(governor_->boosted() ? ntserv::obs::EventKind::kBoostEngage
+                                        : ntserv::obs::EventKind::kBoostRelease,
+                   chip_id_, now_s);
+    }
     // The fleet power cap clamps the decided point to this chip's
     // budget. Clamping *before* the requested-frequency comparison means
     // a standing clamp re-issues the same applied target every epoch and
@@ -414,6 +424,10 @@ ChipServer::EpochOutcome ChipServer::close_epoch(double now_s, double duration,
       const Hertz before = frequency_;
       set_frequency(f_next);
       if (frequency_ != before) {
+        if (trace_ != nullptr) {
+          trace_->emit(ntserv::obs::EventKind::kFrequency, chip_id_, now_s,
+                       /*tenant=*/-1, /*id=*/-1, /*value=*/frequency_.value());
+        }
         // The shared transition: every cluster on the chip pauses for
         // the swing while arrivals keep queueing. Its energy accrues in
         // the epochs the stall overlaps (see above).

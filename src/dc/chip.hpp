@@ -25,6 +25,7 @@
 
 #include "common/units.hpp"
 #include "ctrl/governor.hpp"
+#include "obs/obs.hpp"
 #include "pm/power_manager.hpp"
 #include "sim/cluster.hpp"
 #include "workload/profile.hpp"
@@ -202,8 +203,17 @@ class ChipServer {
   /// Forward a detected-error event to the chip's governor, which enters
   /// its guardband mode. No-op on an ungoverned chip.
   void notify_error() {
-    if (governor_ != nullptr) governor_->on_error();
+    if (governor_ == nullptr) return;
+    governor_->on_error();
+    if (trace_ != nullptr) {
+      trace_->emit_now(obs::EventKind::kGuardbandEngage, chip_id_, /*tenant=*/-1,
+                       /*id=*/-1, governor_->margin());
+    }
   }
+
+  /// Attach a trace sink (fleet-wired; may be null): governor decisions
+  /// emit kFrequency / kBoost* / kGuardband* events at the epoch barrier.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
   /// Outcome of one chip epoch: the record, its energy, and any
   /// transition begun at the boundary. record.transition_time carries the
@@ -313,6 +323,7 @@ class ChipServer {
   double governed_seconds_ = 0.0;
 
   // Epoch accumulators (governed runs).
+  obs::TraceSink* trace_ = nullptr;
   std::unique_ptr<ctrl::FleetGovernor> governor_;
   const pm::PowerManager* manager_ = nullptr;
   Second qos_p99_limit_{0.0};

@@ -234,6 +234,22 @@ ClusterFleet::ClusterFleet(FleetConfig config)
   }
 }
 
+void ClusterFleet::set_telemetry(obs::Telemetry* telemetry) {
+  // Only enabled components are wired: every emission site tests one
+  // plain pointer, so detached/disabled telemetry stays off the hot path.
+  trace_ = telemetry != nullptr && telemetry->trace.enabled() ? &telemetry->trace : nullptr;
+  metrics_ =
+      telemetry != nullptr && telemetry->metrics.enabled() ? &telemetry->metrics : nullptr;
+  timers_ =
+      telemetry != nullptr && telemetry->timers.enabled() ? &telemetry->timers : nullptr;
+  for (std::size_t s = 0; s < chips_.size(); ++s) {
+    chips_[s]->set_trace(trace_);
+    if (!breakers_.empty()) breakers_[s].attach_trace(trace_, static_cast<int>(s));
+  }
+  if (brownout_) brownout_->attach_trace(trace_);
+  if (capper_) capper_->attach_trace(trace_);
+}
+
 int ClusterFleet::outstanding(int s) const {
   return chips_.at(static_cast<std::size_t>(s))->outstanding();
 }
@@ -397,6 +413,13 @@ FleetResult ClusterFleet::run() {
         std::make_unique<fault::FaultInjector>(config_.faults, config_.seed, servers());
   }
 
+  // ---- Telemetry (all idle when detached; see set_telemetry) ----
+  obs::PhaseTimers::Scope run_scope(timers_, "fleet-run");
+  if (trace_ != nullptr) {
+    trace_->begin_run(servers());
+    if (injector != nullptr) injector->attach_trace(trace_);
+  }
+
   /// One admitted, unresolved dispatch copy of a request.
   struct LiveCopy {
     std::uint64_t copy;
@@ -513,6 +536,46 @@ FleetResult ClusterFleet::run() {
     return timeout_s;
   };
 
+  // ---- Per-epoch metric columns (registered once, before any snapshot) ----
+  struct ChipMetricIds {
+    obs::MetricsRegistry::Id queue, freq, power, util, breaker, parked, down;
+  };
+  struct FleetMetricIds {
+    obs::MetricsRegistry::Id offered, completed, shed, timed_out, retries;
+    obs::MetricsRegistry::Id p50, p95, p99, brownout, power, parked, in_flight;
+    obs::MetricsRegistry::Id latency_hist;
+  };
+  std::vector<ChipMetricIds> chip_metric_ids;
+  FleetMetricIds fm{};
+  if (metrics_ != nullptr) {
+    chip_metric_ids.reserve(chips_.size());
+    for (int s = 0; s < servers(); ++s) {
+      const std::string p = "chip" + std::to_string(s) + ".";
+      ChipMetricIds ids;
+      ids.queue = metrics_->gauge(p + "queue");
+      ids.freq = metrics_->gauge(p + "freq_ghz");
+      ids.power = metrics_->gauge(p + "power_w");
+      ids.util = metrics_->gauge(p + "util");
+      ids.breaker = metrics_->gauge(p + "breaker");
+      ids.parked = metrics_->gauge(p + "parked");
+      ids.down = metrics_->gauge(p + "down");
+      chip_metric_ids.push_back(ids);
+    }
+    fm.offered = metrics_->counter("fleet.offered");
+    fm.completed = metrics_->counter("fleet.completed");
+    fm.shed = metrics_->counter("fleet.shed");
+    fm.timed_out = metrics_->counter("fleet.timed_out");
+    fm.retries = metrics_->counter("fleet.retries");
+    fm.p50 = metrics_->gauge("fleet.p50_us");
+    fm.p95 = metrics_->gauge("fleet.p95_us");
+    fm.p99 = metrics_->gauge("fleet.p99_us");
+    fm.brownout = metrics_->gauge("fleet.brownout_stage");
+    fm.power = metrics_->gauge("fleet.power_w");
+    fm.parked = metrics_->gauge("fleet.parked_chips");
+    fm.in_flight = metrics_->gauge("fleet.in_flight");
+    fm.latency_hist = metrics_->histogram("fleet.latency_us");
+  }
+
   // Snapshot the fleet for the orchestration controllers (live queue
   // depths, last closed epoch's utilization).
   auto chip_status = [&] {
@@ -538,6 +601,13 @@ FleetResult ClusterFleet::run() {
   // decide() is clamped by the budget its queue earned), routing and
   // scaling react *after* (to the freshly measured epoch).
   auto close_epochs = [&](bool final_partial) {
+    obs::PhaseTimers::Scope barrier_scope(timers_, "epoch-barrier");
+    // Merge watermark: only events at or before the *closing* epoch's
+    // start are final — a timeout processed just after this barrier may
+    // carry a due time just before it (late by at most one delivery lag),
+    // and admitting it into the merged stream later would break the
+    // append-only determinism contract.
+    const double trace_watermark = epoch_start_s_;
     const double duration = now_s - epoch_start_s_;
     if (capper_) {
       const auto status = chip_status();
@@ -553,11 +623,17 @@ FleetResult ClusterFleet::run() {
       }
     }
     double epoch_energy_j = 0.0;
-    for (auto& chip : chips_) {
+    std::vector<double> chip_power_w;
+    if (metrics_ != nullptr) chip_power_w.assign(chips_.size(), 0.0);
+    for (std::size_t s = 0; s < chips_.size(); ++s) {
+      auto& chip = chips_[s];
       auto outcome = chip->close_epoch(now_s, duration, epoch_index, final_partial);
       if (!outcome.emitted) continue;
       energy_j += outcome.energy_j;
       epoch_energy_j += outcome.energy_j;
+      if (metrics_ != nullptr && duration > 0.0) {
+        chip_power_w[s] = outcome.energy_j / duration;
+      }
       if (!group_energy_j.empty()) {
         group_energy_j[static_cast<std::size_t>(chip->group())] += outcome.energy_j;
       }
@@ -634,20 +710,27 @@ FleetResult ClusterFleet::run() {
             chip.unpark(now_s, wake);
             ++unparks;
             if (emergency) ++emergency_wakes;
+            if (trace_ != nullptr) {
+              trace_->emit_now(obs::EventKind::kUnpark, d.chip, /*tenant=*/-1,
+                               /*id=*/emergency ? 1 : 0, /*value=*/wake.value());
+            }
             break;
           }
           case orch::ScaleAction::kCancelDrain:
             chip.cancel_drain();
+            if (trace_ != nullptr) trace_->emit_now(obs::EventKind::kCancelDrain, d.chip);
             break;
           case orch::ScaleAction::kDrain:
             chip.begin_drain();
             ++drains;
+            if (trace_ != nullptr) trace_->emit_now(obs::EventKind::kDrain, d.chip);
             break;
           case orch::ScaleAction::kPark:
             // Re-check live state: the decision was made on a snapshot.
             if (!chip.down() && !chip.parked() && chip.outstanding() == 0) {
               chip.park(now_s);
               ++parks;
+              if (trace_ != nullptr) trace_->emit_now(obs::EventKind::kPark, d.chip);
             }
             break;
         }
@@ -671,6 +754,38 @@ FleetResult ClusterFleet::run() {
         }
       }
     }
+    if (metrics_ != nullptr) {
+      int parked_chips = 0;
+      for (std::size_t s = 0; s < chips_.size(); ++s) {
+        const ChipServer& chip = *chips_[s];
+        const ChipMetricIds& ids = chip_metric_ids[s];
+        metrics_->set(ids.queue, static_cast<double>(chip.outstanding()));
+        metrics_->set(ids.freq, chip.frequency().value() / 1e9);
+        metrics_->set(ids.power, chip_power_w[s]);
+        metrics_->set(ids.util, chip.last_epoch_utilization());
+        metrics_->set(ids.breaker,
+                      breakers_.empty()
+                          ? 0.0
+                          : static_cast<double>(static_cast<int>(breakers_[s].state())));
+        metrics_->set(ids.parked, chip.parked() ? 1.0 : 0.0);
+        metrics_->set(ids.down, chip.down() ? 1.0 : 0.0);
+        if (chip.parked()) ++parked_chips;
+      }
+      metrics_->set(fm.offered, static_cast<double>(offered));
+      metrics_->set(fm.completed, static_cast<double>(completed_total));
+      metrics_->set(fm.shed, static_cast<double>(shed));
+      metrics_->set(fm.timed_out, static_cast<double>(timed_out_count));
+      metrics_->set(fm.retries, static_cast<double>(retry_count));
+      metrics_->set(fm.p50, latency.count() > 0 ? latency.p50() * 1e6 : 0.0);
+      metrics_->set(fm.p95, latency.count() > 0 ? latency.p95() * 1e6 : 0.0);
+      metrics_->set(fm.p99, latency.count() > 0 ? latency.p99() * 1e6 : 0.0);
+      metrics_->set(fm.brownout, static_cast<double>(static_cast<int>(stage)));
+      metrics_->set(fm.power, duration > 0.0 ? epoch_energy_j / duration : 0.0);
+      metrics_->set(fm.parked, static_cast<double>(parked_chips));
+      metrics_->set(fm.in_flight, static_cast<double>(pending.size()));
+      metrics_->snapshot(epoch_index, now_s);
+    }
+    if (trace_ != nullptr) trace_->merge(trace_watermark);
     ++epoch_index;
     epoch_start_s_ = now_s;
   };
@@ -691,6 +806,7 @@ FleetResult ClusterFleet::run() {
     ++tenant.completed_all;
     if (req.tenant_seq >= tenant.spec.warmup_requests) {
       ++completed_measured;
+      if (metrics_ != nullptr) metrics_->observe(fm.latency_hist, req.latency_s() * 1e6);
       latency.add(req.latency_s());
       latency_mean.add(req.latency_s());
       wait_mean.add(req.wait_s());
@@ -750,6 +866,11 @@ FleetResult ClusterFleet::run() {
     for (const auto& other : pr.live) cancel_copy(other);
     pr.live.clear();
     if (req.hedge) ++hedge_wins;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kComplete, req.server, req.completion_s, req.tenant,
+                   static_cast<std::int64_t>(req.id), /*value=*/req.latency_s(),
+                   /*aux_s=*/req.start_s, req.core);
+    }
     measure_completion(req, pr.damaged || fault_active());
     erase_pending(it);
   };
@@ -802,12 +923,21 @@ FleetResult ClusterFleet::run() {
       ++tenant.shed;
       ++brownout_shed_total;
       ++tenant.brownout_shed;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kBrownoutShed, /*chip=*/-1, event_s, req.tenant,
+                     static_cast<std::int64_t>(req.id));
+      }
       erase_pending(pit);
       return;
     }
     const int server = pick_server(req, now_s);
     if (server < 0) {
-      retries_.push(RetryEntry{event_s + admission_.retry_delay(0).value(), req});
+      const double due = event_s + admission_.retry_delay(0).value();
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kRetry, /*chip=*/-1, event_s, req.tenant,
+                     static_cast<std::int64_t>(req.id), /*value=*/0.0, /*aux_s=*/due);
+      }
+      retries_.push(RetryEntry{due, req});
       return;
     }
     req.server = server;
@@ -817,6 +947,10 @@ FleetResult ClusterFleet::run() {
       auto& chip = *chips_[static_cast<std::size_t>(server)];
       chip.queue().push_back(req);
       note_admit(server);
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kDispatch, server, event_s, req.tenant,
+                     static_cast<std::int64_t>(req.id));
+      }
       pr.live.push_back({req.copy, server});
       pr.proto.attempts = req.attempts;
       if (chip.down() || chip.degraded()) mark_damaged(pr);
@@ -832,6 +966,10 @@ FleetResult ClusterFleet::run() {
     if (admission_.may_retry(req.attempts)) {
       ++retry_count;
       const double due = event_s + admission_.retry_delay(req.attempts).value();
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kRetry, /*chip=*/-1, event_s, req.tenant,
+                     static_cast<std::int64_t>(req.id), /*value=*/0.0, /*aux_s=*/due);
+      }
       ++req.attempts;
       pr.proto.attempts = req.attempts;
       retries_.push(RetryEntry{due, req});
@@ -839,6 +977,10 @@ FleetResult ClusterFleet::run() {
     }
     ++shed;
     ++tenants_[static_cast<std::size_t>(req.tenant)].shed;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kShed, /*chip=*/-1, event_s, req.tenant,
+                   static_cast<std::int64_t>(req.id));
+    }
     erase_pending(pit);
   };
 
@@ -875,6 +1017,10 @@ FleetResult ClusterFleet::run() {
     pr.hedged = true;
     ++hedged_count;
     ++tenants_[static_cast<std::size_t>(req.tenant)].hedged;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kHedge, server, event_s, req.tenant,
+                   static_cast<std::int64_t>(id));
+    }
     if (chip.down() || chip.degraded()) mark_damaged(pr);
     if (timeout_s > 0.0) timeouts.push({event_s + timeout_for(critical), req.copy, id});
   };
@@ -909,6 +1055,10 @@ FleetResult ClusterFleet::run() {
       }
       ++timed_out_count;
       ++tenants_[static_cast<std::size_t>(pr.proto.tenant)].timed_out;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kTimeout, /*chip=*/-1, d.due_s, pr.proto.tenant,
+                     static_cast<std::int64_t>(d.id));
+      }
       erase_pending(pit);
     }
   };
@@ -971,10 +1121,19 @@ FleetResult ClusterFleet::run() {
               live.push_back({r.copy, target});
               ++redispatched_count;
               ++tenants_[static_cast<std::size_t>(r.tenant)].redispatched;
+              if (trace_ != nullptr) {
+                trace_->emit_now(obs::EventKind::kRedispatch, target, r.tenant,
+                                 static_cast<std::int64_t>(r.id));
+              }
             } else {
               // Fully-dark fleet: back to the client as a parked retry.
-              retries_.push(
-                  RetryEntry{now_s + admission_.retry_delay(0).value(), pit->second.proto});
+              const double due = now_s + admission_.retry_delay(0).value();
+              if (trace_ != nullptr) {
+                trace_->emit(obs::EventKind::kRetry, /*chip=*/-1, now_s, r.tenant,
+                             static_cast<std::int64_t>(r.id), /*value=*/0.0,
+                             /*aux_s=*/due);
+              }
+              retries_.push(RetryEntry{due, pit->second.proto});
             }
           }
         } else {
@@ -1042,6 +1201,7 @@ FleetResult ClusterFleet::run() {
       truncated = true;
       break;
     }
+    if (trace_ != nullptr) trace_->set_now(now_s);
     if (injector != nullptr) {
       while (injector->due(now_s)) apply_fault(injector->pop());
     }
@@ -1074,6 +1234,10 @@ FleetResult ClusterFleet::run() {
           tenant.next_arrival_s = tenant.arrivals->next().value();
         }
         pending.emplace(req.id, PendingRequest{req, {}, false, false});
+        if (trace_ != nullptr) {
+          trace_->emit(obs::EventKind::kAdmit, /*chip=*/-1, req.arrival_s, req.tenant,
+                       static_cast<std::int64_t>(req.id));
+        }
         dispatch(req, req.arrival_s, /*fresh=*/true);
       } else {
         const RetryEntry entry = retries_.top();
@@ -1139,7 +1303,9 @@ FleetResult ClusterFleet::run() {
     now_s += dt;
   }
 
+  if (trace_ != nullptr) trace_->set_now(now_s);
   if (governed_) close_epochs(true);
+  if (trace_ != nullptr) trace_->finish();
 
   // The availability ledger must tile: every offered request is exactly
   // one of completed, shed, timed out, or still in flight (truncation).

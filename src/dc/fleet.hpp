@@ -54,6 +54,7 @@
 #include "dc/chip.hpp"
 #include "dc/latency_stats.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "orch/orch.hpp"
 #include "pm/power_manager.hpp"
 #include "workload/profile.hpp"
@@ -367,6 +368,13 @@ class ClusterFleet {
   /// Queued + in-service requests on chip `s`.
   [[nodiscard]] int outstanding(int s) const;
 
+  /// Attach observability (may be null to detach). Only the *enabled*
+  /// components are wired: a disabled TraceSink costs the run exactly one
+  /// null-pointer test per emission site. Call before run(); the trace is
+  /// merged in canonical (time, chip, kind) order at each epoch barrier,
+  /// so the event stream is byte-identical for any NTSERV_THREADS.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Drive arrivals until every offered request is completed or shed (or
   /// max_cycles elapse). Single-threaded and deterministic: identical
   /// results for any caller threading, because all randomness is
@@ -441,6 +449,10 @@ class ClusterFleet {
   /// placement and the emergency-wake trigger both consult it.
   std::vector<int> chip_domain_;
   std::priority_queue<RetryEntry, std::vector<RetryEntry>, std::greater<>> retries_;
+  // Observability (null when detached/disabled; see set_telemetry).
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::PhaseTimers* timers_ = nullptr;
   int round_robin_next_ = 0;
   bool governed_ = false;
   std::uint64_t steered_ = 0;

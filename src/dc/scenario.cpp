@@ -697,6 +697,24 @@ FleetResult run_scenario(const Scenario& scenario, Hertz f) {
   return fleet.run();
 }
 
+FleetResult run_scenario(const Scenario& scenario, Hertz f, obs::Telemetry* telemetry) {
+  ClusterFleet fleet{scenario.fleet_config(f)};
+  fleet.set_telemetry(telemetry);
+  return fleet.run();
+}
+
+obs::TraceMeta trace_meta(const Scenario& scenario) {
+  // Expand at the default frequency purely for the resolved shape: chip
+  // count, cores per chip and the tenant table are frequency-independent.
+  const FleetConfig fc = scenario.fleet_config(Hertz{2e9});
+  obs::TraceMeta meta;
+  meta.name = scenario.name;
+  meta.chips = fc.servers;
+  meta.cores_per_chip = fc.clusters_per_chip * fc.cluster.hierarchy.cores;
+  for (const auto& t : fc.resolved_tenants()) meta.tenants.push_back(t.name);
+  return meta;
+}
+
 std::vector<FleetResult> run_scenarios(const std::vector<Scenario>& scenarios, Hertz f) {
   return run_scenarios(scenarios, f, sim::ThreadPool::default_threads());
 }

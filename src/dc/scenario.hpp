@@ -87,6 +87,16 @@ struct Scenario {
 /// Run one scenario at frequency `f` (single-threaded, deterministic).
 [[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f);
 
+/// Run one scenario with observability attached (obs::Telemetry; null or
+/// all-disabled components cost nothing). The trace/metrics emitted are
+/// byte-identical for any NTSERV_THREADS — use one Telemetry per run.
+[[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f,
+                                       obs::Telemetry* telemetry);
+
+/// Static exporter context (chip/core/tenant names) for writing a
+/// scenario's trace with obs::write_chrome_trace.
+[[nodiscard]] obs::TraceMeta trace_meta(const Scenario& scenario);
+
 /// Run many scenarios at one frequency, fanning them out over `threads`
 /// workers (default NTSERV_THREADS). Each scenario is an independent
 /// seed-derived simulation, so results are bit-identical for any thread

@@ -12,6 +12,18 @@ namespace ntserv::dse {
 
 namespace {
 
+/// Sweep-point self-profiling sink (set_phase_timers). Wall clock only;
+/// never written into sweep results.
+obs::PhaseTimers* g_phase_timers = nullptr;
+
+}  // namespace
+
+void set_phase_timers(obs::PhaseTimers* timers) { g_phase_timers = timers; }
+
+obs::PhaseTimers* phase_timers() { return g_phase_timers; }
+
+namespace {
+
 // Satellite of the availability work: a truncated run hit its cycle cap,
 // so every downstream metric (tails, energy, violation counts) is partial.
 // Sweeps used to fold such runs in silently; now each one is flagged on
@@ -110,6 +122,7 @@ std::vector<SweepResult> ExplorationDriver::sweep_all(
 
   // Flatten every (workload, frequency) pair into one task index space.
   sim::parallel_for_index(threads, profiles.size() * grid.size(), [&](std::size_t t) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     const std::size_t p = t / grid.size();
     const std::size_t i = t % grid.size();
     results[p].points[i] = simulators[p]->evaluate(grid[i]);
@@ -141,6 +154,7 @@ MeasuredQosSweep sweep_measured_qos(const dc::Scenario& scenario,
 
   std::vector<dc::FleetResult> fleet(grid.size());
   sim::parallel_for_index(threads, grid.size(), [&](std::size_t i) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     fleet[i] = dc::run_scenario(scenario, grid[i]);
   });
 
@@ -193,6 +207,7 @@ GovernorSweep sweep_governors(const dc::Scenario& scenario,
   sweep.workload = scenario.workload;
   sweep.points.resize(kinds.size());
   sim::parallel_for_index(threads, kinds.size(), [&](std::size_t i) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     dc::Scenario s = scenario;
     s.governor.kind = kinds[i];
     sweep.points[i].governor = kinds[i];
@@ -318,6 +333,7 @@ ConsolidationSweep sweep_consolidation(const dc::Scenario& scenario,
   // Flatten every (chip count, consolidated-or-split) run into one task
   // index space; each task is an independent seed-derived fleet.
   sim::parallel_for_index(threads, chip_counts.size() * per_count, [&](std::size_t task) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     const std::size_t i = task / per_count;
     const std::size_t j = task % per_count;
     dc::Scenario s = j == 0 ? scenario : scenario.dedicated(j - 1);
@@ -398,6 +414,7 @@ ProvisioningSweep sweep_provisioning(const dc::Scenario& scenario,
   // Flatten every (chip count, arm) run into one task index space; each
   // task is an independent seed-derived fleet.
   sim::parallel_for_index(threads, chip_counts.size() * arms.size(), [&](std::size_t task) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     const std::size_t i = task / arms.size();
     const std::size_t a = task % arms.size();
     dc::Scenario s = scenario;
@@ -456,6 +473,7 @@ FaultSweep sweep_faults(const dc::Scenario& scenario,
   // Task 0 is the healthy reference (faults stripped, first arm's
   // resilience); tasks 1..N are the arms on the shared fault trace.
   sim::parallel_for_index(threads, arms.size() + 1, [&](std::size_t task) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     dc::Scenario s = scenario;
     if (task == 0) {
       s.faults = fault::FaultConfig{};
@@ -516,6 +534,7 @@ FaultSweep sweep_faults(const dc::Scenario& scenario,
   // Task 0 is the healthy reference (faults stripped, first arm's
   // posture); tasks 1..N are the arms on the shared fault trace.
   sim::parallel_for_index(threads, arms.size() + 1, [&](std::size_t task) {
+    obs::PhaseTimers::Scope sweep_scope(g_phase_timers, "sweep-point");
     dc::Scenario s = scenario;
     if (task == 0) {
       s.faults = fault::FaultConfig{};

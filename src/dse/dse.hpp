@@ -21,6 +21,13 @@
 
 namespace ntserv::dse {
 
+/// Attach wall-clock self-profiling to the sweep drivers (null detaches).
+/// Every fleet-simulation sweep point then adds one "sweep-point" sample;
+/// obs::PhaseTimers is mutex-guarded, so pool workers report safely. Wall
+/// time never enters sweep results — this is turnaround diagnostics only.
+void set_phase_timers(obs::PhaseTimers* timers);
+[[nodiscard]] obs::PhaseTimers* phase_timers();
+
 /// Which power scope divides UIPS in an efficiency series.
 enum class Scope { kCores, kSoc, kServer };
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace ntserv::fault {
 
@@ -243,7 +244,23 @@ bool FaultInjector::due(double now_s) const {
 
 const FaultEvent& FaultInjector::pop() {
   NTSERV_EXPECTS(!exhausted(), "FaultInjector::pop past the end of the schedule");
-  return schedule_[next_++];
+  const FaultEvent& e = schedule_[next_++];
+  if (trace_ != nullptr) {
+    obs::EventKind kind = obs::EventKind::kCrash;
+    switch (e.kind) {
+      case FaultKind::kCrash: kind = obs::EventKind::kCrash; break;
+      case FaultKind::kRecover: kind = obs::EventKind::kRecover; break;
+      case FaultKind::kDegrade: kind = obs::EventKind::kDegrade; break;
+      case FaultKind::kRestore: kind = obs::EventKind::kRestore; break;
+      case FaultKind::kDomainOutage:
+      case FaultKind::kThermalEmergency:
+        // Domain kinds are expanded at schedule resolution; never delivered.
+        break;
+    }
+    trace_->emit(kind, e.chip, e.at_s, /*tenant=*/-1, /*id=*/e.domain,
+                 /*value=*/e.kind == FaultKind::kDegrade ? e.freq_cap : 0.0);
+  }
+  return e;
 }
 
 }  // namespace ntserv::fault

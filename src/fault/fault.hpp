@@ -34,6 +34,10 @@
 
 #include "common/units.hpp"
 
+namespace ntserv::obs {
+class TraceSink;
+}
+
 namespace ntserv::fault {
 
 enum class FaultKind {
@@ -141,12 +145,18 @@ class FaultInjector {
   [[nodiscard]] double next_time() const;
   /// True when an event is due at or before `now_s`.
   [[nodiscard]] bool due(double now_s) const;
-  /// Deliver the next event (caller checks due()/exhausted()).
+  /// Deliver the next event (caller checks due()/exhausted()). With a
+  /// trace attached, delivery emits the matching kCrash / kRecover /
+  /// kDegrade / kRestore event stamped with the fault's scheduled time.
   const FaultEvent& pop();
+
+  /// Attach a trace sink (fleet-wired; may be null).
+  void attach_trace(obs::TraceSink* trace) { trace_ = trace; }
 
  private:
   std::vector<FaultEvent> schedule_;
   std::size_t next_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ntserv::fault

@@ -38,6 +38,8 @@
 
 #include "qos/qos.hpp"
 
+#include "obs/obs.hpp"
+
 #include "fault/fault.hpp"
 
 #include "ctrl/admission.hpp"

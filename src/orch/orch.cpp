@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ntserv::orch {
 
@@ -148,6 +149,10 @@ std::vector<Watt> PowerCapper::split(const std::vector<ChipStatus>& chips,
     ++serving;
     floor_sum += c.floor_power.value();
     weight_sum += config_.group_weight(c.group) * (1.0 + static_cast<double>(c.outstanding));
+  }
+  if (trace_ != nullptr) {
+    trace_->emit_now(obs::EventKind::kCapSplit, /*chip=*/-1, /*tenant=*/-1,
+                     /*id=*/serving, /*value=*/available);
   }
   if (serving == 0 || available <= 0.0) return budgets;
 

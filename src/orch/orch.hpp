@@ -46,6 +46,10 @@
 #include "common/units.hpp"
 #include "ctrl/governor.hpp"
 
+namespace ntserv::obs {
+class TraceSink;
+}
+
 namespace ntserv::orch {
 
 /// Per-chip snapshot the fleet hands the controllers at an epoch barrier.
@@ -179,8 +183,14 @@ class PowerCapper {
 
   [[nodiscard]] const PowerCapConfig& config() const { return config_; }
 
+  /// Attach a trace sink (fleet-wired; may be null): every split emits a
+  /// kCapSplit event (id = serving chips, value = distributable Watts)
+  /// stamped with the sink's current time.
+  void attach_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   PowerCapConfig config_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
