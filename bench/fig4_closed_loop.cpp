@@ -136,7 +136,7 @@ int run_smoke() {
           "ntc-boost energy below the fixed-max baseline");
   require(ntc.p99.value() <= fixed.p99.value() * 1.10,
           "ntc-boost tail within 10% of fixed-max at smoke scale");
-  require(!ntc.epochs.empty() && ntc.avg_frequency_ghz > 0.0,
+  require(ntc.has_epoch_trajectory() && ntc.avg_frequency_ghz > 0.0,
           "epoch records populated");
   std::cout << (ok ? "SMOKE PASS" : "SMOKE FAIL") << ": ntc energy "
             << ntc.energy.value() * 1e3 << " mJ vs fixed " << fixed.energy.value() * 1e3

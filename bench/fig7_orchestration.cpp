@@ -215,12 +215,14 @@ void print_router(const dc::FleetResult& r) {
   t.add_row({"peak", std::to_string(tt.peak_epochs), std::to_string(tt.peak_ntc),
              std::to_string(tt.peak_conv)});
   bench::print_table(t, "fig7_routing_phases");
-  TextTable g({"group", "dispatches", "energy (mJ)"});
-  for (std::size_t i = 0; i < r.group_names.size(); ++i) {
-    g.add_row({r.group_names[i], std::to_string(r.group_dispatches[i]),
-               TextTable::num(r.group_energy[i].value() * 1e3, 2)});
+  if (r.has_routing()) {
+    TextTable g({"group", "dispatches", "energy (mJ)"});
+    for (std::size_t i = 0; i < r.group_names.size(); ++i) {
+      g.add_row({r.group_names[i], std::to_string(r.group_dispatches[i]),
+                 TextTable::num(r.group_energy[i].value() * 1e3, 2)});
+    }
+    bench::print_table(g, "fig7_routing_groups");
   }
-  bench::print_table(g, "fig7_routing_groups");
   if (!r.tenants.empty()) {
     std::cout << "Interactive tenant p99: " << in_us(r.tenants[0].p99) << " us\n";
   }

@@ -66,9 +66,12 @@ void print_brownout_sweep(const dse::FaultSweep& sweep, const dc::Scenario& scen
   auto add = [&](const std::string& label, const dc::FleetResult& r,
                  std::uint64_t lost) {
     const dc::TenantResult& crit = tenant_by_name(r, critical_tenant);
-    std::string stages;
-    for (std::size_t i = 0; i < r.brownout_stage_epochs.size(); ++i) {
-      stages += (i != 0U ? "/" : "") + std::to_string(r.brownout_stage_epochs[i]);
+    std::string stages = "-";  // healthy reference arm runs without the ladder
+    if (r.has_brownout_ladder()) {
+      stages.clear();
+      for (std::size_t i = 0; i < r.brownout_stage_epochs.size(); ++i) {
+        stages += (i != 0U ? "/" : "") + std::to_string(r.brownout_stage_epochs[i]);
+      }
     }
     t.add_row({label + bench::truncated_mark(r), TextTable::num(in_us(crit.p99), 1),
                std::to_string(crit.sla_violations),

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace ntserv::dc {
 
@@ -130,7 +133,52 @@ void FleetConfig::validate() const {
   }
 }
 
-ClusterFleet::ClusterFleet(FleetConfig config)
+namespace {
+/// Salt for the per-shard seed stream: ShardPlan seeds must never
+/// collide with the tenant (0xA441/0xB0D6) or workload (0x5E28) streams.
+constexpr std::uint64_t kShardSeedSalt = 0x5A4Dull;
+}  // namespace
+
+ShardPlan ShardPlan::serial(int servers, std::uint64_t fleet_seed) {
+  return make(servers, 1, fleet_seed);
+}
+
+ShardPlan ShardPlan::make(int servers, int shards, std::uint64_t fleet_seed) {
+  NTSERV_EXPECTS(servers > 0, "a shard plan needs at least one chip");
+  if (shards <= 0) shards = sim::ThreadPool::default_threads();
+  shards = std::min(shards, servers);
+  ShardPlan plan;
+  plan.shards.reserve(static_cast<std::size_t>(shards));
+  // Balanced contiguous split: the first (servers % shards) shards carry
+  // one extra chip. Contiguity keeps each shard's chips adjacent in
+  // chips_ (cache locality) and makes the drain order argument trivial.
+  const int base = servers / shards;
+  const int extra = servers % shards;
+  int next = 0;
+  for (int i = 0; i < shards; ++i) {
+    ShardRange r;
+    r.shard = i;
+    r.first_chip = next;
+    r.chips = base + (i < extra ? 1 : 0);
+    r.seed = derive_seed(fleet_seed, kShardSeedSalt + static_cast<std::uint64_t>(i));
+    next += r.chips;
+    plan.shards.push_back(r);
+  }
+  return plan;
+}
+
+void ShardPlan::validate(int servers) const {
+  NTSERV_EXPECTS(!shards.empty(), "a shard plan needs at least one shard");
+  int next = 0;
+  for (const auto& r : shards) {
+    NTSERV_EXPECTS(r.chips > 0, "shard plans must not carry empty shards");
+    NTSERV_EXPECTS(r.first_chip == next, "shard plan ranges must tile contiguously");
+    next += r.chips;
+  }
+  NTSERV_EXPECTS(next == servers, "shard plan must cover every chip exactly once");
+}
+
+ClusterFleet::ClusterFleet(FleetConfig config, int build_threads)
     : config_(std::move(config)), admission_(config_.admission) {
   config_.validate();
   governed_ = config_.governor.kind != ctrl::GovernorKind::kNone;
@@ -175,8 +223,17 @@ ClusterFleet::ClusterFleet(FleetConfig config)
       }
     }
   }
-  chips_.reserve(static_cast<std::size_t>(config_.servers));
-  for (int s = 0; s < config_.servers; ++s) {
+  // Chip construction includes the per-cluster architectural cache warm
+  // (warm_instructions of committed work), which dominates startup at
+  // rack scale. Chips are independent, seed-derived units — every stream
+  // is keyed by the global cluster index — so large fleets build in
+  // parallel into pre-sized slots with state bit-identical to the serial
+  // build. Small fleets stay serial: the pool costs more than it saves.
+  chips_.resize(static_cast<std::size_t>(config_.servers));
+  if (build_threads <= 0) build_threads = sim::ThreadPool::default_threads();
+  const int build_fanout = config_.servers >= 8 ? build_threads : 1;
+  sim::parallel_for_index(build_fanout, chips_.size(), [&](std::size_t i) {
+    const int s = static_cast<int>(i);
     ChipParams params;
     params.cluster = config_.cluster;
     params.clusters = config_.clusters_per_chip;
@@ -188,16 +245,19 @@ ClusterFleet::ClusterFleet(FleetConfig config)
     params.first_cluster_index = s * config_.clusters_per_chip;
     params.chip_id = s;
     params.tenants = static_cast<int>(tenants_.size());
-    chips_.push_back(std::make_unique<ChipServer>(params));
-    if (governed_) {
+    chips_[i] = std::make_unique<ChipServer>(params);
+  });
+  if (governed_) {
+    for (int s = 0; s < config_.servers; ++s) {
       // One governor instance per chip: identical initial state, but each
       // evolves on its own chip's observations (per-chip DVFS).
       const auto g = static_cast<std::size_t>(chip_group[static_cast<std::size_t>(s)]);
       const ctrl::GovernorConfig& gc =
           routed ? config_.orchestration.router.groups[g].governor : config_.governor;
-      chips_.back()->set_group(static_cast<int>(g));
-      chips_.back()->attach_governor(ctrl::make_governor(gc, *managers_[g]),
-                                     managers_[g].get(), gc.qos_p99_limit);
+      auto& chip = chips_[static_cast<std::size_t>(s)];
+      chip->set_group(static_cast<int>(g));
+      chip->attach_governor(ctrl::make_governor(gc, *managers_[g]), managers_[g].get(),
+                            gc.qos_p99_limit);
     }
   }
   // Chip -> failure domain (cross-domain hedge placement, emergency wake).
@@ -381,6 +441,12 @@ bool ClusterFleet::any_core_busy() const {
 }
 
 FleetResult ClusterFleet::run() {
+  return run(ShardPlan::serial(servers(), config_.seed), 1);
+}
+
+FleetResult ClusterFleet::run(const ShardPlan& plan, int threads) {
+  plan.validate(servers());
+  if (threads <= 0) threads = sim::ThreadPool::default_threads();
   const double base_f = config_.frequency.value();
   const double max_s = static_cast<double>(config_.max_cycles) / base_f;
   const Cycle q = config_.quantum;
@@ -1196,6 +1262,50 @@ FleetResult ClusterFleet::run() {
     return best;
   };
 
+  // ---- Sharded data plane ----
+  // Between barriers, each shard advances its contiguous chip range on
+  // its own worker. ChipServer::advance is chip-local by construction
+  // (clusters, slots, queue, accounting — it never touches fleet or
+  // trace state), so the only cross-chip effect of the serial loop was
+  // the completion sink. Completions are therefore staged into per-chip
+  // buffers — advance() hands them over in deterministic cluster-major
+  // order per chip — and drained serially in ascending chip index after
+  // the quantum's barrier, which is exactly the order the serial loop
+  // invoked the sink. Every shard count and thread count (including the
+  // 1-shard serial plan, which runs the same staging path) thus produces
+  // bit-identical results and telemetry.
+  std::vector<std::vector<Request>> staged(chips_.size());
+  std::vector<std::function<void(const Request&)>> stage_sinks;
+  stage_sinks.reserve(chips_.size());
+  for (auto& buf : staged) {
+    stage_sinks.emplace_back([&buf](const Request& req) { buf.push_back(req); });
+  }
+  // One persistent pool per run (not per quantum): workers park on the
+  // condition variable between quanta, so the per-quantum cost is one
+  // submit + one wait_idle barrier per shard.
+  const int pool_threads = std::min(threads, plan.shard_count());
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (pool_threads > 1) pool = std::make_unique<sim::ThreadPool>(pool_threads);
+  auto advance_shard = [&](const ShardRange& sh) {
+    for (int s = sh.first_chip; s < sh.first_chip + sh.chips; ++s) {
+      auto& chip = *chips_[static_cast<std::size_t>(s)];
+      if (chip.in_transition(now_s)) continue;  // voltage domain mid-swing
+      chip.advance(now_s, dt, q, stage_sinks[static_cast<std::size_t>(s)]);
+    }
+  };
+  auto advance_chips = [&] {
+    if (pool == nullptr) {
+      for (const auto& sh : plan.shards) advance_shard(sh);
+    } else {
+      pool->run_indexed(plan.shards.size(),
+                        [&](std::size_t i) { advance_shard(plan.shards[i]); });
+    }
+    for (auto& buf : staged) {
+      for (const Request& req : buf) completion_sink(req);
+      buf.clear();
+    }
+  };
+
   while (disposed < total) {
     if (now_s >= max_s) {
       truncated = true;
@@ -1296,10 +1406,7 @@ FleetResult ClusterFleet::run() {
       continue;
     }
 
-    for (auto& chip : chips_) {
-      if (chip->in_transition(now_s)) continue;  // voltage domain mid-swing
-      chip->advance(now_s, dt, q, completion_sink);
-    }
+    advance_chips();
     now_s += dt;
   }
 
@@ -1340,9 +1447,15 @@ FleetResult ClusterFleet::run() {
     }
   }
   r.guardband_epochs = guardband_epochs;
+  r.governed = governed_;
+  r.brownout_enabled = brownout_.has_value();
+  r.breakers_enabled = !breakers_.empty();
+  r.autoscaled = autoscaler_.has_value();
   r.brownout_shed = brownout_shed_total;
   r.brownout_epochs = brownout_epochs;
-  r.brownout_stage_epochs = stage_epochs;
+  // The time-in-stage attribution is only a measurement when the ladder
+  // ran; without it the vector stays empty (see has_brownout_ladder()).
+  if (brownout_.has_value()) r.brownout_stage_epochs = stage_epochs;
   for (const auto& b : breakers_) r.breaker_trips += b.trips();
   r.breaker_open_epochs = breaker_open_epochs;
   // In-flight remainders at truncation, attributed to their tenants so

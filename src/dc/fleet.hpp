@@ -27,13 +27,18 @@
 // distribution, QoS bound and steering class, and FleetResult reports
 // per-tenant percentiles, shed rates and an energy attribution.
 //
-// The fleet simulation is deliberately single-threaded per scenario —
-// dispatch decisions depend on completion order, so intra-fleet
-// parallelism would be order-dependent. Parallel fan-out happens one
-// level up (dc/scenario.hpp, dse::sweep_measured_qos, sweep_governors,
-// sweep_consolidation) across independent scenarios, governors and
-// operating points, which keeps every result bit-identical for any
-// NTSERV_THREADS.
+// Intra-run parallelism: one fleet run shards its chips into contiguous
+// ranges (ShardPlan) and advances the shards on a worker pool between
+// epoch barriers. The data plane is shard-local by construction — a
+// chip's advance() touches only its own clusters, slots and queue — and
+// every completion is staged into a per-chip buffer, then drained
+// serially in ascending chip order, which is exactly the order the
+// serial loop produced. The control plane (dispatch, timeouts, hedges,
+// faults, and the epoch barrier where governor/balancer/brownout/
+// capper/autoscaler act) stays serial. Results and telemetry are
+// therefore bit-identical for ANY shard count and ANY NTSERV_THREADS;
+// sweep-level fan-out (dse::sweep_*, dc::run_scenarios) still
+// parallelizes across whole operating points one level up.
 #pragma once
 
 #include <cstdint>
@@ -181,11 +186,13 @@ struct FleetConfig {
   /// scale-out chip; 1 reproduces the old one-cluster-per-server fleet).
   int servers = 2;
   int clusters_per_chip = 1;
-  /// The constant user-instruction cost of one request (paper Sec. V-A);
-  /// the mean when `budget` selects a distribution.
+  /// DEPRECATED single-tenant field (see the note at `tenants`): the
+  /// constant user-instruction cost of one request (paper Sec. V-A); the
+  /// mean when `budget` selects a distribution.
   std::uint64_t user_instructions_per_request = 8'000;
-  /// Per-request instruction-budget distribution. budget.mean == 0
-  /// inherits user_instructions_per_request as the mean.
+  /// DEPRECATED single-tenant field: per-request instruction-budget
+  /// distribution. budget.mean == 0 inherits
+  /// user_instructions_per_request as the mean.
   ctrl::BudgetConfig budget;
   /// Saturation control: queue-depth admission with client back-off.
   ctrl::AdmissionConfig admission;
@@ -194,14 +201,24 @@ struct FleetConfig {
   /// one governor per chip (per-chip DVFS).
   ctrl::GovernorConfig governor;
   BalancePolicy policy = BalancePolicy::kLeastLoaded;
+  /// DEPRECATED single-tenant field (see the note at `tenants`).
   ArrivalConfig arrival;
-  /// Co-located tenants. Empty means single-tenant: the legacy fields
-  /// (arrival, budget, requests, warmup_requests, ...) form tenant 0.
+  /// Co-located tenants — the canonical traffic description. Empty means
+  /// single-tenant: the DEPRECATED legacy fields (arrival, budget,
+  /// requests, warmup_requests, user_instructions_per_request) form
+  /// tenant 0 via resolved_tenants(). New code should not set the legacy
+  /// fields directly: build configs through dc::FleetConfigBuilder
+  /// (dc/runner.hpp), which normalizes them into this table at build()
+  /// and keeps the legacy mirror consistent. The fields stay readable
+  /// for back-compat; they will lose their config-input role once the
+  /// last external caller migrates.
   std::vector<TenantSpec> tenants;
-  /// Measured completions (after warmup_requests unmeasured ones) when
-  /// nothing is shed; with admission control, offered requests beyond the
-  /// warmup ids that get shed reduce the measured count.
+  /// DEPRECATED single-tenant field: measured completions (after
+  /// warmup_requests unmeasured ones) when nothing is shed; with
+  /// admission control, offered requests beyond the warmup ids that get
+  /// shed reduce the measured count.
   std::uint64_t requests = 400;
+  /// DEPRECATED single-tenant field.
   std::uint64_t warmup_requests = 40;
   std::uint64_t seed = 1;
   /// Simulation step between dispatch/completion checks, in cycles of the
@@ -251,6 +268,44 @@ struct FleetConfig {
   /// legacy single-tenant fields normalized into one entry (budget
   /// inheritance is resolved per tenant via TenantSpec::resolved_budget).
   [[nodiscard]] std::vector<TenantSpec> resolved_tenants() const;
+};
+
+/// One contiguous chip range advanced by a single worker between epoch
+/// barriers.
+struct ShardRange {
+  int shard = 0;       ///< index of this shard in its plan
+  int first_chip = 0;  ///< first chip index (inclusive)
+  int chips = 0;       ///< number of contiguous chips
+  /// Shard stream identity, derived from the fleet seed with the same
+  /// SplitMix derivation as the per-point sweep seeds. The determinism
+  /// contract (results bit-identical across shard counts) forbids any
+  /// result-affecting shard-local randomness, so the data plane never
+  /// draws from it; it seeds shard-local diagnostics (e.g. sampled
+  /// debug logging) so those too are reproducible per shard.
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic partition of a fleet's chips into contiguous shards.
+/// The plan is a pure function of (servers, shard count, fleet seed):
+/// chips are split as evenly as possible, low-index shards taking the
+/// remainder. Because the sharded data plane stages completions per
+/// chip and drains them in ascending chip order, any plan over the same
+/// fleet yields bit-identical results — the shard count only chooses
+/// the parallel grain.
+struct ShardPlan {
+  std::vector<ShardRange> shards;
+
+  [[nodiscard]] int shard_count() const { return static_cast<int>(shards.size()); }
+
+  /// Single shard covering every chip: the serial execution grain.
+  [[nodiscard]] static ShardPlan serial(int servers, std::uint64_t fleet_seed);
+
+  /// Balanced plan with `shards` shards (clamped to [1, servers]);
+  /// shards <= 0 picks min(sim::ThreadPool::default_threads(), servers).
+  [[nodiscard]] static ShardPlan make(int servers, int shards, std::uint64_t fleet_seed);
+
+  /// A plan must tile [0, servers) contiguously with non-empty shards.
+  void validate(int servers) const;
 };
 
 /// Aggregate outcome of one fleet run.
@@ -349,12 +404,58 @@ struct FleetResult {
   std::vector<std::string> group_names;          ///< per router group
   std::vector<std::uint64_t> group_dispatches;   ///< admitted copies per group
   std::vector<Joule> group_energy;               ///< epoch energy per group
+
+  // ---- Feature presence ----
+  // Many fields above are only meaningful when the matching subsystem
+  // was enabled, and several vectors are empty otherwise. The flags
+  // record what the run actually engaged; drivers should branch on the
+  // has_*() accessors below instead of length-checking vectors inline.
+  bool governed = false;          ///< a DVFS governor closed epochs
+  bool brownout_enabled = false;  ///< the brownout ladder was attached
+  bool breakers_enabled = false;  ///< per-chip circuit breakers attached
+  bool autoscaled = false;        ///< the autoscaler was attached
+
+  /// Measured completions exist, so mean/p50/p95/p99/mean_wait are
+  /// measurements rather than zero-initialized placeholders.
+  [[nodiscard]] bool has_tail() const { return completed > 0; }
+  /// Governed run: `energy`, `avg_frequency_ghz` and the transition
+  /// counters are governor-accounted (open-loop runs leave them zero).
+  [[nodiscard]] bool has_energy() const { return governed; }
+  /// The per-chip `epochs` trajectory is populated (governed run that
+  /// closed at least one epoch).
+  [[nodiscard]] bool has_epoch_trajectory() const { return !epochs.empty(); }
+  /// `brownout_stage_epochs` carries the time-in-stage attribution
+  /// (sized ctrl::kBrownoutStages); empty when the ladder was off.
+  [[nodiscard]] bool has_brownout_ladder() const { return brownout_enabled; }
+  /// Breakers were attached, so `breaker_trips`/`breaker_open_epochs`
+  /// are observations (0 with breakers on means "never tripped").
+  [[nodiscard]] bool has_breakers() const { return breakers_enabled; }
+  /// Multi-fleet routing ran: `group_names`, `group_dispatches`,
+  /// `group_energy` and `router_epochs` are parallel per-group arrays.
+  [[nodiscard]] bool has_routing() const { return !group_names.empty(); }
+  /// A fleet power cap was enforced (`fleet_cap` is the cap).
+  [[nodiscard]] bool has_power_cap() const { return fleet_cap.value() > 0.0; }
+  /// The autoscaler ran: park/unpark/drain counters and parked_seconds
+  /// are observations.
+  [[nodiscard]] bool has_autoscaler() const { return autoscaled; }
+  /// At least one fault event was delivered (first_fault, recovered and
+  /// time_to_recover describe the fault history).
+  [[nodiscard]] bool has_fault_history() const { return faults_injected > 0; }
 };
 
 /// N ChipServer instances behind one dispatcher.
+///
+/// This is the execution engine; prefer driving it through
+/// dc::FleetRunner (dc/runner.hpp), which validates the config, builds
+/// the shard plan and wires telemetry through one options argument.
 class ClusterFleet {
  public:
-  explicit ClusterFleet(FleetConfig config);
+  /// Builds (and cache-warms) every chip. `build_threads` bounds the
+  /// construction fan-out: chips are independent, seed-derived units, so
+  /// large fleets warm in parallel with bit-identical state (0 = auto =
+  /// sim::ThreadPool::default_threads(); callers already running inside
+  /// a sweep worker should pass 1).
+  explicit ClusterFleet(FleetConfig config, int build_threads = 0);
 
   ClusterFleet(const ClusterFleet&) = delete;
   ClusterFleet& operator=(const ClusterFleet&) = delete;
@@ -373,13 +474,25 @@ class ClusterFleet {
   /// null-pointer test per emission site. Call before run(); the trace is
   /// merged in canonical (time, chip, kind) order at each epoch barrier,
   /// so the event stream is byte-identical for any NTSERV_THREADS.
+  ///
+  /// DEPRECATED as a public side channel: pass telemetry through
+  /// dc::RunOptions on dc::FleetRunner instead, which wires it here for
+  /// you. Kept public for the engine-level callers.
   void set_telemetry(obs::Telemetry* telemetry);
 
   /// Drive arrivals until every offered request is completed or shed (or
-  /// max_cycles elapse). Single-threaded and deterministic: identical
-  /// results for any caller threading, because all randomness is
-  /// seed-derived at construction.
+  /// max_cycles elapse), serially: equivalent to run(ShardPlan::serial,
+  /// 1). Deterministic — all randomness is seed-derived at construction.
   [[nodiscard]] FleetResult run();
+
+  /// Sharded run: advance the plan's chip ranges on up to `threads`
+  /// workers between epoch barriers (threads <= 0 picks
+  /// sim::ThreadPool::default_threads()). Completions are staged per
+  /// chip and drained in ascending chip order at each quantum, and the
+  /// control plane stays serial, so the result AND the telemetry stream
+  /// are bit-identical to the serial run for any plan and any thread
+  /// count.
+  [[nodiscard]] FleetResult run(const ShardPlan& plan, int threads);
 
  private:
   /// One tenant's generators and running measurement.

@@ -24,29 +24,34 @@ double rate_for_load(double load, int servers, int cores_per_server,
 }
 
 FleetConfig Scenario::fleet_config(Hertz f) const {
-  FleetConfig cfg;
-  cfg.profile = workload::WorkloadProfile::for_name(workload);
-  cfg.frequency = f;
-  cfg.servers = servers;
-  cfg.clusters_per_chip = clusters_per_chip;
-  cfg.user_instructions_per_request = user_instructions_per_request;
-  cfg.budget = budget;
-  cfg.admission = admission;
-  cfg.governor = governor;
-  cfg.policy = policy;
-  cfg.arrival = arrival;
-  cfg.tenants = tenants;
-  cfg.faults = faults;
-  cfg.resilience = resilience;
-  cfg.orchestration = orchestration;
-  cfg.brownout = brownout;
-  cfg.breaker = breaker;
-  cfg.max_cycles = max_cycles;
-  cfg.requests = requests;
-  cfg.warmup_requests = warmup_requests;
-  cfg.warm_instructions = warm_instructions;
-  cfg.seed = seed;
-  return cfg;
+  // Built through FleetConfigBuilder, so the expansion always carries a
+  // normalized tenant table: single-tenant scenarios land in tenant 0
+  // exactly as the legacy resolved_tenants() path resolved them (the
+  // deprecated mirror fields stay consistent for legacy readers).
+  FleetConfigBuilder b;
+  b.profile(workload::WorkloadProfile::for_name(workload))
+      .frequency(f)
+      .shape(servers, clusters_per_chip)
+      .admission(admission)
+      .governor(governor)
+      .policy(policy)
+      .faults(faults)
+      .resilience(resilience)
+      .orchestration(orchestration)
+      .brownout(brownout)
+      .breaker(breaker)
+      .max_cycles(max_cycles)
+      .warm(warm_instructions)
+      .seed(seed);
+  if (tenants.empty()) {
+    b.arrival(arrival)
+        .budget(budget)
+        .request_cost(user_instructions_per_request)
+        .requests(requests, warmup_requests);
+  } else {
+    for (const auto& t : tenants) b.tenant(t);
+  }
+  return b.build();
 }
 
 Scenario Scenario::dedicated(std::size_t t) const {
@@ -692,15 +697,20 @@ Scenario Scenario::by_name(const std::string& name) {
   throw ModelError("no scenario named: " + name);
 }
 
+FleetResult run_scenario(const Scenario& scenario, Hertz f, const RunOptions& options) {
+  return FleetRunner{scenario.fleet_config(f)}.run(options);
+}
+
 FleetResult run_scenario(const Scenario& scenario, Hertz f) {
-  ClusterFleet fleet{scenario.fleet_config(f)};
-  return fleet.run();
+  // Serial grain by default: scenario runs usually ride inside a
+  // sweep-level fan-out (run_scenarios, dse::sweep_*) that already owns
+  // the cores. Callers wanting the sharded data plane pass RunOptions.
+  return run_scenario(scenario, f, RunOptions{.shards = 1, .threads = 1});
 }
 
 FleetResult run_scenario(const Scenario& scenario, Hertz f, obs::Telemetry* telemetry) {
-  ClusterFleet fleet{scenario.fleet_config(f)};
-  fleet.set_telemetry(telemetry);
-  return fleet.run();
+  return run_scenario(scenario, f,
+                      RunOptions{.telemetry = telemetry, .shards = 1, .threads = 1});
 }
 
 obs::TraceMeta trace_meta(const Scenario& scenario) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dc/fleet.hpp"
+#include "dc/runner.hpp"
 
 namespace ntserv::dc {
 
@@ -84,12 +85,20 @@ struct Scenario {
 [[nodiscard]] double rate_for_load(double load, int servers, int cores_per_server,
                                    std::uint64_t user_instructions_per_request);
 
-/// Run one scenario at frequency `f` (single-threaded, deterministic).
+/// Run one scenario at frequency `f` under explicit dc::RunOptions
+/// (telemetry, shard count, worker threads) through dc::FleetRunner —
+/// the one entry point serial and sharded execution share. Results and
+/// telemetry are bit-identical for any options.shards/threads.
+[[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f,
+                                       const RunOptions& options);
+
+/// Run one scenario serially with default options (deterministic).
 [[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f);
 
 /// Run one scenario with observability attached (obs::Telemetry; null or
 /// all-disabled components cost nothing). The trace/metrics emitted are
 /// byte-identical for any NTSERV_THREADS — use one Telemetry per run.
+/// Convenience for run_scenario(scenario, f, RunOptions{.telemetry = t}).
 [[nodiscard]] FleetResult run_scenario(const Scenario& scenario, Hertz f,
                                        obs::Telemetry* telemetry);
 

@@ -52,6 +52,7 @@
 #include "dc/chip.hpp"
 #include "dc/fleet.hpp"
 #include "dc/latency_stats.hpp"
+#include "dc/runner.hpp"
 #include "dc/scenario.hpp"
 
 #include "dse/dse.hpp"

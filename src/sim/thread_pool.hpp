@@ -63,6 +63,30 @@ class ThreadPool {
     cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
   }
 
+  /// Run body(i) for i in [0, n) on the pool and barrier: submit all,
+  /// wait_idle, rethrow the first captured exception. Unlike
+  /// parallel_for_index this reuses a live pool, so callers with a
+  /// per-step fan-out (the sharded fleet advances every quantum) pay a
+  /// submit + barrier, not a pool construction. Each index must write
+  /// only its own state.
+  template <typename Body>
+  void run_indexed(std::size_t n, Body&& body) {
+    std::mutex err_mu;
+    std::exception_ptr err;
+    for (std::size_t i = 0; i < n; ++i) {
+      submit([&body, &err_mu, &err, i] {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!err) err = std::current_exception();
+        }
+      });
+    }
+    wait_idle();
+    if (err) std::rethrow_exception(err);
+  }
+
   /// Worker count from NTSERV_THREADS, else the hardware concurrency.
   static int default_threads() {
     if (const char* env = std::getenv("NTSERV_THREADS")) {

@@ -1,27 +1,32 @@
 #include <gtest/gtest.h>
 
 #include "dc/fleet.hpp"
+#include "dc/runner.hpp"
 #include "dc/scenario.hpp"
 #include "workload/profile.hpp"
 
 namespace ntserv::dc {
 namespace {
 
-/// Small, fast multi-cluster chip fleet shared by the behavioural tests.
-FleetConfig chip_config() {
-  FleetConfig cfg;
-  cfg.profile = workload::WorkloadProfile::web_search();
-  cfg.frequency = ghz(2.0);
-  cfg.servers = 2;
-  cfg.clusters_per_chip = 2;
-  cfg.user_instructions_per_request = 3'000;
-  cfg.arrival.kind = ArrivalKind::kPoisson;
-  cfg.arrival.rate = 200'000.0;
-  cfg.requests = 120;
-  cfg.warmup_requests = 12;
-  cfg.warm_instructions = 60'000;
-  cfg.seed = 5;
-  return cfg;
+ArrivalConfig poisson(double rate) {
+  ArrivalConfig a;
+  a.kind = ArrivalKind::kPoisson;
+  a.rate = rate;
+  return a;
+}
+
+/// Small, fast multi-cluster chip fleet shared by the behavioural tests;
+/// tests override the shape and traffic through the builder.
+FleetConfigBuilder chip_builder() {
+  return FleetConfigBuilder{}
+      .profile(workload::WorkloadProfile::web_search())
+      .frequency(ghz(2.0))
+      .shape(/*servers=*/2, /*clusters_per_chip=*/2)
+      .request_cost(3'000)
+      .arrival(poisson(200'000.0))
+      .requests(120, 12)
+      .warm(60'000)
+      .seed(5);
 }
 
 /// Trimmed two-tenant consolidated scenario (fast warm) used by the
@@ -64,9 +69,7 @@ Scenario tiny_consolidated() {
 TEST(Chip, MultiClusterChipUsesAllItsClusters) {
   // A 2-cluster chip exposes 8 core slots behind one queue: under enough
   // load both clusters serve, and the fleet completes every request.
-  auto cfg = chip_config();
-  cfg.servers = 1;
-  cfg.arrival.rate = 400'000.0;
+  const auto cfg = chip_builder().shape(1, 2).arrival(poisson(400'000.0)).build();
   ClusterFleet fleet{cfg};
   EXPECT_EQ(fleet.cores_per_server(), 2 * cfg.cluster.hierarchy.cores);
   const FleetResult r = fleet.run();
@@ -86,14 +89,8 @@ TEST(Chip, FlatAndChipGroupingsExposeTheSameCapacity) {
   // both shapes must complete the same offered load untruncated (the
   // dispatch granularity differs — chips share one queue — so tails are
   // close but not identical).
-  auto flat = chip_config();
-  flat.servers = 2;
-  flat.clusters_per_chip = 1;
-  const FleetResult rf = ClusterFleet{flat}.run();
-  auto chip = chip_config();
-  chip.servers = 1;
-  chip.clusters_per_chip = 2;
-  const FleetResult rc = ClusterFleet{chip}.run();
+  const FleetResult rf = ClusterFleet{chip_builder().shape(2, 1).build()}.run();
+  const FleetResult rc = ClusterFleet{chip_builder().shape(1, 2).build()}.run();
   EXPECT_EQ(rf.completed, rc.completed);
   EXPECT_FALSE(rf.truncated);
   EXPECT_FALSE(rc.truncated);

@@ -1,27 +1,37 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "dc/runner.hpp"
 #include "dc/scenario.hpp"
 #include "workload/profile.hpp"
 
 namespace ntserv::dc {
 namespace {
 
-/// Small, fast two-chip fleet shared by the behavioural tests.
-FleetConfig small_config() {
-  FleetConfig cfg;
-  cfg.profile = workload::WorkloadProfile::web_search();
-  cfg.frequency = ghz(2.0);
-  cfg.servers = 2;
-  cfg.user_instructions_per_request = 3'000;
-  cfg.arrival.kind = ArrivalKind::kPoisson;
-  cfg.arrival.rate = 20'000.0;
-  cfg.requests = 80;
-  cfg.warmup_requests = 10;
-  cfg.warm_instructions = 60'000;
-  cfg.seed = 3;
-  return cfg;
+ArrivalConfig poisson(double rate) {
+  ArrivalConfig a;
+  a.kind = ArrivalKind::kPoisson;
+  a.rate = rate;
+  return a;
 }
+
+/// Small, fast two-chip fleet shared by the behavioural tests. Traffic
+/// overrides go through the builder (post-build mutation of the
+/// deprecated legacy traffic fields would be ignored); fault and
+/// resilience knobs may still be set on the built config.
+FleetConfigBuilder small_builder() {
+  return FleetConfigBuilder{}
+      .profile(workload::WorkloadProfile::web_search())
+      .frequency(ghz(2.0))
+      .shape(/*servers=*/2)
+      .request_cost(3'000)
+      .arrival(poisson(20'000.0))
+      .requests(80, 10)
+      .warm(60'000)
+      .seed(3);
+}
+
+FleetConfig small_config() { return small_builder().build(); }
 
 void expect_tiling(const FleetResult& r) {
   EXPECT_EQ(r.offered, r.completed_all + r.shed + r.timed_out + r.in_flight);
@@ -119,11 +129,7 @@ TEST(Resilience, FailoverSurvivesAnUnrecoveredCrash) {
 }
 
 TEST(Resilience, TimeoutsExhaustTheRetryBudgetOnADarkFleet) {
-  auto cfg = small_config();
-  cfg.servers = 1;
-  cfg.arrival.rate = 10'000.0;
-  cfg.requests = 30;
-  cfg.warmup_requests = 5;
+  auto cfg = small_builder().shape(1).arrival(poisson(10'000.0)).requests(30, 5).build();
   cfg.faults.events = {{0.5e-3, 0, fault::FaultKind::kCrash}};  // forever
   cfg.resilience.timeout = Second{50e-6};
   const FleetResult r = ClusterFleet{cfg}.run();
@@ -137,8 +143,8 @@ TEST(Resilience, TimeoutsExhaustTheRetryBudgetOnADarkFleet) {
 }
 
 TEST(Resilience, HedgingDuplicatesSlowRequestsAndFirstCompletionWins) {
-  auto cfg = small_config();
-  cfg.arrival.rate = 60'000.0;  // enough queueing for hedges to fire
+  // 60 krps: enough queueing for hedges to fire.
+  auto cfg = small_builder().arrival(poisson(60'000.0)).build();
   cfg.resilience.hedging = true;
   cfg.resilience.hedge_min_delay = Second{5e-6};
   cfg.resilience.hedge_warmup = 1'000'000;  // pin the delay at hedge_min_delay
@@ -155,9 +161,7 @@ TEST(Resilience, HedgingDuplicatesSlowRequestsAndFirstCompletionWins) {
 }
 
 TEST(Resilience, DegradationFrequencyCapSlowsTheFleet) {
-  auto cfg = small_config();
-  cfg.servers = 1;
-  cfg.arrival.rate = 10'000.0;
+  auto cfg = small_builder().shape(1).arrival(poisson(10'000.0)).build();
   const FleetResult healthy = ClusterFleet{cfg}.run();
   // Deep whole-run cap (0.15 of nominal -> 0.3 GHz). The slowdown is
   // sub-linear in frequency — web search is memory-bound, which is the
@@ -216,6 +220,10 @@ TEST(Resilience, FaultedRunsAreDeterministicAcrossThreadCounts) {
 // the fleet level and per tenant for *any* combination of load, policy,
 // admission, faults and resilience — the conservation law of the serving
 // layer. The generator is seeded, so the "random" sample is stable.
+// This test deliberately assembles raw FleetConfig values (deprecated
+// legacy traffic fields, sometimes overlaid with a direct tenant table):
+// it is the remaining coverage for the legacy resolution path that
+// FleetConfigBuilder replaces everywhere else.
 TEST(ResilienceProperty, AccountingTilesAcrossRandomizedScenarios) {
   Xoshiro256StarStar rng{derive_seed(0xACC7, 0)};
   for (int trial = 0; trial < 14; ++trial) {
